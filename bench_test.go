@@ -1,0 +1,154 @@
+package mmtag
+
+// Benchmark harness: one benchmark per experiment of the evaluation
+// (DESIGN.md section 4). Each bench regenerates the full table/figure
+// data exactly as cmd/mmtag-bench prints it; -benchtime=1x gives one
+// clean reproduction pass. Reported ns/op measures the cost of
+// regenerating the experiment, not any claim about the modelled system.
+
+import (
+	"testing"
+
+	"mmtag/internal/eval"
+)
+
+const benchSeed = 42
+
+func benchTable(b *testing.B, run func() (*eval.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1RetroPattern(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E1RetroPattern(nil) })
+}
+
+func BenchmarkE2LinkBudget(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E2LinkBudget(nil) })
+}
+
+func BenchmarkE3BERvsEbN0(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E3BERvsEbN0(benchSeed) })
+}
+
+func BenchmarkE4BERvsDistance(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E4BERvsDistance(nil) })
+}
+
+func BenchmarkE5Throughput(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E5Throughput(nil) })
+}
+
+func BenchmarkE6AngleRobustness(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E6AngleRobustness(nil) })
+}
+
+func BenchmarkE7MultiTag(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E7MultiTag(nil, benchSeed) })
+}
+
+func BenchmarkE8EnergyPerBit(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E8EnergyPerBit(nil) })
+}
+
+func BenchmarkE9Cancellation(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E9Cancellation(nil, benchSeed) })
+}
+
+func BenchmarkE10Discovery(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E10Discovery(nil, benchSeed) })
+}
+
+func BenchmarkE11SwitchLimit(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tabs, err := eval.E11SwitchLimit(nil, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) != 2 {
+			b.Fatal("E11 must produce two tables")
+		}
+	}
+}
+
+func BenchmarkE12CodedPER(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E12CodedPER(benchSeed) })
+}
+
+func BenchmarkE13BatteryFree(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E13BatteryFree(nil) })
+}
+
+func BenchmarkE14DiscoveryAblation(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E14DiscoveryAblation(nil, benchSeed) })
+}
+
+func BenchmarkE15Blockage(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E15Blockage(nil, benchSeed) })
+}
+
+func BenchmarkE16Multipath(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E16Multipath(benchSeed) })
+}
+
+func BenchmarkE17Interference(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E17Interference(nil, benchSeed) })
+}
+
+func BenchmarkE18RoomClutter(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E18RoomClutter(nil) })
+}
+
+func BenchmarkA1RangeVsArraySize(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.A1RangeVsArraySize(nil) })
+}
+
+func BenchmarkA2SDMChains(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.A2SDMChains(nil, benchSeed) })
+}
+
+func BenchmarkT2PowerBreakdown(b *testing.B) {
+	benchTable(b, eval.T2PowerBreakdown)
+}
+
+func BenchmarkT3EnergyCompare(b *testing.B) {
+	benchTable(b, eval.T3EnergyCompare)
+}
+
+// BenchmarkSystemRun measures a complete discovery + polling round on
+// an 8-tag deployment through the public API.
+func BenchmarkSystemRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(SystemConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 8; j++ {
+			if err := sys.AddTag(TagSpec{
+				ID:         uint8(j + 1),
+				DistanceM:  2 + float64(j)*0.5,
+				AzimuthDeg: -40 + float64(j)*11,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep, err := sys.Run(RunConfig{Duration: 0.01, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Discovered == 0 {
+			b.Fatal("no tags discovered")
+		}
+	}
+}

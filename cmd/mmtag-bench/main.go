@@ -1,0 +1,116 @@
+// Command mmtag-bench regenerates the evaluation tables and figures
+// (E1-E12, T2, T3 — see DESIGN.md section 4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mmtag-bench                     # run everything, print text tables
+//	mmtag-bench -experiment E4      # one experiment
+//	mmtag-bench -csv -out results/  # write one CSV per experiment
+//	mmtag-bench -seed 7             # change the Monte-Carlo seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mmtag/internal/eval"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E18, A1, T2, T3, or all)")
+	seed := flag.Int64("seed", 42, "seed for Monte-Carlo experiments")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	out := flag.String("out", "", "directory to write per-experiment files (stdout if empty)")
+	flag.Parse()
+
+	tables, err := run(*experiment, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmtag-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mmtag-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, t := range tables {
+		body := t.Render()
+		ext := "txt"
+		if *csv {
+			body = t.CSV()
+			ext = "csv"
+		}
+		if *out == "" {
+			fmt.Println(body)
+			continue
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s.%s", strings.ToLower(t.ID), ext))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mmtag-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func run(id string, seed int64) ([]*eval.Table, error) {
+	one := func(t *eval.Table, err error) ([]*eval.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*eval.Table{t}, nil
+	}
+	switch strings.ToUpper(id) {
+	case "ALL":
+		return eval.AllTables(nil, seed)
+	case "E1":
+		return one(eval.E1RetroPattern(nil))
+	case "E2":
+		return one(eval.E2LinkBudget(nil))
+	case "E3":
+		return one(eval.E3BERvsEbN0(seed))
+	case "E4":
+		return one(eval.E4BERvsDistance(nil))
+	case "E5":
+		return one(eval.E5Throughput(nil))
+	case "E6":
+		return one(eval.E6AngleRobustness(nil))
+	case "E7":
+		return one(eval.E7MultiTag(nil, seed))
+	case "E8":
+		return one(eval.E8EnergyPerBit(nil))
+	case "E9":
+		return one(eval.E9Cancellation(nil, seed))
+	case "E10":
+		return one(eval.E10Discovery(nil, seed))
+	case "E11":
+		return eval.E11SwitchLimit(nil, seed)
+	case "E12":
+		return one(eval.E12CodedPER(seed))
+	case "E13":
+		return one(eval.E13BatteryFree(nil))
+	case "E14":
+		return one(eval.E14DiscoveryAblation(nil, seed))
+	case "E15":
+		return one(eval.E15Blockage(nil, seed))
+	case "E16":
+		return one(eval.E16Multipath(seed))
+	case "E17":
+		return one(eval.E17Interference(nil, seed))
+	case "E18":
+		return one(eval.E18RoomClutter(nil))
+	case "A1":
+		return one(eval.A1RangeVsArraySize(nil))
+	case "A2":
+		return one(eval.A2SDMChains(nil, seed))
+	case "T2":
+		return one(eval.T2PowerBreakdown())
+	case "T3":
+		return one(eval.T3EnergyCompare())
+	}
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E18, A1, T2, T3, all)", id)
+}

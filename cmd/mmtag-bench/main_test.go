@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The cheap experiments: every ID resolves and yields a non-empty
+	// table. (E3/E7/E12 are Monte-Carlo heavy and covered by the eval
+	// package's own tests and the benchmarks.)
+	for _, id := range []string{"E1", "E2", "E4", "E5", "E6", "E8", "E13", "T2", "T3"} {
+		t.Run(id, func(t *testing.T) {
+			tables, err := run(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) != 1 || len(tables[0].Rows) == 0 {
+				t.Fatalf("%s: unexpected result shape", id)
+			}
+			if !strings.EqualFold(tables[0].ID, id) {
+				t.Fatalf("%s: table ID %s", id, tables[0].ID)
+			}
+		})
+	}
+}
+
+func TestRunE11ReturnsTwoTables(t *testing.T) {
+	tables, err := run("e11", 1) // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E11 tables %d, want 2", len(tables))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := run("E99", 1); err == nil {
+		t.Fatal("unknown ID must error")
+	}
+}

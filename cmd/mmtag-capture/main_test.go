@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mmtag/internal/iq"
+)
+
+func TestSynthDecodeRoundTrip(t *testing.T) {
+	for _, mod := range []string{"ook", "bpsk", "qpsk", "16qam"} {
+		t.Run(mod, func(t *testing.T) {
+			payload := []byte("capture roundtrip " + mod)
+			h, wave, err := synthesize(payload, mod, 10e6, 8, 25, 2, false, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Serialize through the container, as the CLI does.
+			var buf bytes.Buffer
+			if err := iq.Write(&buf, h, wave); err != nil {
+				t.Fatal(err)
+			}
+			h2, wave2, err := iq.Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, meta, err := decode(h2, wave2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meta.Modulation != mod {
+				t.Fatalf("metadata modulation %q", meta.Modulation)
+			}
+			if !res.OK() {
+				t.Fatalf("decode failed: %v", res.Err)
+			}
+			if !bytes.Equal(res.Frame.Payload, payload) {
+				t.Fatalf("payload %q, want %q", res.Frame.Payload, payload)
+			}
+		})
+	}
+}
+
+func TestSynthCodedRoundTrip(t *testing.T) {
+	payload := []byte("coded capture")
+	h, wave, err := synthesize(payload, "bpsk", 10e6, 8, 12, 2, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := decode(h, wave, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || !bytes.Equal(res.Frame.Payload, payload) {
+		t.Fatalf("coded decode failed: %v", res.Err)
+	}
+}
+
+func TestSynthValidation(t *testing.T) {
+	if _, _, err := synthesize(nil, "64apsk", 10e6, 8, 25, 2, false, 1); err == nil {
+		t.Fatal("unknown modulation must error")
+	}
+	if _, _, err := synthesize(nil, "ook", 10e6, 1, 25, 2, false, 1); err == nil {
+		t.Fatal("1 sample/symbol must error")
+	}
+}
+
+func TestDecodeRejectsBadMetadata(t *testing.T) {
+	h := iq.Header{SampleRateHz: 80e6, Meta: "not json"}
+	if _, _, err := decode(h, make([]complex128, 100), false); err == nil {
+		t.Fatal("bad metadata must error")
+	}
+	h.Meta = `{"modulation":"ook","symbol_rate_hz":0,"preamble_len":63}`
+	if _, _, err := decode(h, make([]complex128, 100), false); err == nil {
+		t.Fatal("zero symbol rate must error")
+	}
+	h.Meta = `{"modulation":"nope","symbol_rate_hz":1,"preamble_len":63}`
+	if _, _, err := decode(h, nil, false); err == nil {
+		t.Fatal("unknown modulation in metadata must error")
+	}
+}
+
+func TestDecodeEqualizedPath(t *testing.T) {
+	h, wave, err := synthesize([]byte("equalized capture"), "bpsk", 10e6, 8, 25, 2, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := decode(h, wave, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || string(res.Frame.Payload) != "equalized capture" {
+		t.Fatalf("equalized decode failed: %v", res.Err)
+	}
+}
+
+func TestDecodeLowSNRFailsGracefully(t *testing.T) {
+	h, wave, err := synthesize([]byte("too noisy"), "ook", 10e6, 8, -15, 2, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := decode(h, wave, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("a -15 dB capture should not decode")
+	}
+	if res.Err == nil {
+		t.Fatal("failure must carry an error")
+	}
+}
+
+func TestDoSynthDemodFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cap.mmiq"
+	if err := doSynth("file path payload", "qpsk", 10e6, 8, 25, 2, false, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := doDemod(path, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := doSynth("x", "qpsk", 10e6, 8, 25, 2, false, 1, ""); err == nil {
+		t.Fatal("missing -out must error")
+	}
+	if err := doDemod("", false); err == nil {
+		t.Fatal("missing -in must error")
+	}
+	if err := doDemod(dir+"/missing.mmiq", false); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if !strings.HasSuffix(path, ".mmiq") {
+		t.Fatal("sanity")
+	}
+}

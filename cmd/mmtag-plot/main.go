@@ -1,0 +1,140 @@
+// Command mmtag-plot renders ASCII charts from experiment CSV files
+// produced by mmtag-bench -csv.
+//
+// Usage:
+//
+//	mmtag-bench -experiment E2 -csv -out results/
+//	mmtag-plot -x distance_m -y snr10MHz_dB results/e2.csv
+//	mmtag-plot -x distance_m -y ber_bpsk10M,ber_qpsk100M -logy results/e4.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mmtag/internal/plot"
+)
+
+func main() {
+	xCol := flag.String("x", "", "x column name (first column if empty)")
+	yCols := flag.String("y", "", "comma-separated y column names (all numeric columns if empty)")
+	logY := flag.Bool("logy", false, "plot log10 of y")
+	width := flag.Int("width", 64, "plot width")
+	height := flag.Int("height", 16, "plot height")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	if err := run(in, name, *xCol, *yCols, *logY, *width, *height); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mmtag-plot: %v\n", err)
+	os.Exit(1)
+}
+
+func run(in io.Reader, name, xCol, yCols string, logY bool, width, height int) error {
+	records, err := csv.NewReader(in).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) < 2 {
+		return fmt.Errorf("%s: need a header and at least one data row", name)
+	}
+	header := records[0]
+	data := records[1:]
+
+	colIdx := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	parseCol := func(idx int) ([]float64, bool) {
+		out := make([]float64, 0, len(data))
+		for _, row := range data {
+			if idx >= len(row) {
+				return nil, false
+			}
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil {
+				return nil, false
+			}
+			out = append(out, v)
+		}
+		return out, true
+	}
+
+	xi := 0
+	if xCol != "" {
+		if xi = colIdx(xCol); xi < 0 {
+			return fmt.Errorf("no column %q (have %v)", xCol, header)
+		}
+	}
+	xs, ok := parseCol(xi)
+	if !ok {
+		return fmt.Errorf("column %q is not numeric", header[xi])
+	}
+
+	var wanted []string
+	if yCols != "" {
+		wanted = strings.Split(yCols, ",")
+	} else {
+		for i, h := range header {
+			if i == xi {
+				continue
+			}
+			if _, numeric := parseCol(i); numeric {
+				wanted = append(wanted, h)
+			}
+		}
+	}
+	if len(wanted) == 0 {
+		return fmt.Errorf("no numeric y columns found")
+	}
+
+	var series []plot.Series
+	for _, w := range wanted {
+		idx := colIdx(strings.TrimSpace(w))
+		if idx < 0 {
+			return fmt.Errorf("no column %q (have %v)", w, header)
+		}
+		ys, numeric := parseCol(idx)
+		if !numeric {
+			return fmt.Errorf("column %q is not numeric", w)
+		}
+		series = append(series, plot.Series{Name: header[idx], X: xs, Y: ys})
+	}
+
+	out, err := plot.Render(plot.Config{
+		Title:  name,
+		XLabel: header[xi],
+		YLabel: strings.Join(wanted, ","),
+		LogY:   logY,
+		Width:  width,
+		Height: height,
+	}, series...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

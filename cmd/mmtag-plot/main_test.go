@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `distance_m,snr_dB,rate
+1,40.5,qpsk-100M
+2,28.4,qpsk-100M
+4,16.4,qpsk-50M
+8,4.3,ook-2M
+`
+
+func TestRunPlotsNumericColumns(t *testing.T) {
+	// Capture via the error path only; run prints to stdout, so this
+	// test focuses on behaviour and error handling.
+	if err := run(strings.NewReader(sampleCSV), "test.csv", "distance_m", "snr_dB", false, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDefaultsToAllNumeric(t *testing.T) {
+	// Empty -x and -y: first column is x, every other numeric column is
+	// a series; the non-numeric "rate" column is skipped.
+	if err := run(strings.NewReader(sampleCSV), "test.csv", "", "", false, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLogY(t *testing.T) {
+	csv := "x,ber\n1,0.1\n2,0.001\n3,0.00001\n"
+	if err := run(strings.NewReader(csv), "ber.csv", "x", "ber", true, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		x, y string
+	}{
+		{"empty", "", "", ""},
+		{"header only", "a,b\n", "", ""},
+		{"missing x column", sampleCSV, "nope", "snr_dB"},
+		{"missing y column", sampleCSV, "distance_m", "nope"},
+		{"non numeric x", sampleCSV, "rate", "snr_dB"},
+		{"non numeric y", sampleCSV, "distance_m", "rate"},
+		{"no numeric columns", "a,b\nx,y\n", "", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(strings.NewReader(c.csv), c.name, c.x, c.y, false, 40, 10); err == nil {
+				t.Fatalf("%s must error", c.name)
+			}
+		})
+	}
+}
+
+func TestRunMultipleYColumns(t *testing.T) {
+	csv := "x,a,b\n1,1,9\n2,2,8\n3,3,7\n"
+	if err := run(strings.NewReader(csv), "multi.csv", "x", "a,b", false, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Whitespace around names is tolerated.
+	if err := run(strings.NewReader(csv), "multi.csv", "x", "a, b", false, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+}

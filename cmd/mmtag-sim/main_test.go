@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunSimulation(t *testing.T) {
+	// A small end-to-end run through the CLI's core path.
+	if err := run(4, 0.02, 5, 45, 0, "ook", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	// SDM + qpsk + log-distance variant.
+	if err := run(6, 0.02, 5, 45, 2.2, "qpsk", true, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(0, 0.01, 5, 45, 0, "ook", false, 1); err == nil {
+		t.Fatal("zero tags must error")
+	}
+	if err := run(300, 0.01, 5, 45, 0, "ook", false, 1); err == nil {
+		t.Fatal("too many tags must error")
+	}
+	if err := run(2, 0.01, 5, 45, 0, "64apsk", false, 1); err == nil {
+		t.Fatal("unknown modulation must error")
+	}
+}

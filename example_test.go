@@ -1,0 +1,79 @@
+package mmtag_test
+
+import (
+	"fmt"
+
+	"mmtag"
+)
+
+// The minimal workflow: one AP, one tag, a link budget and a run.
+func Example() {
+	sys, err := mmtag.NewSystem(mmtag.SystemConfig{})
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.AddTag(mmtag.TagSpec{ID: 1, DistanceM: 3, Modulation: "qpsk"}); err != nil {
+		panic(err)
+	}
+	link, err := sys.Link(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SNR %.1f dB, best rate %s\n", link.SNRdB, link.BestRate)
+
+	rep, err := sys.Run(mmtag.RunConfig{Duration: 0.05, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("discovered %d tag(s)\n", rep.Discovered)
+	// Output:
+	// SNR 40.4 dB, best rate qpsk-100M
+	// discovered 1 tag(s)
+}
+
+// Energy per bit at the calibrated operating point.
+func ExampleEnergyPerBit() {
+	e, err := mmtag.EnergyPerBit(10e6, "ook")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f nJ/bit at 10 Mb/s\n", e*1e9)
+	// Output:
+	// 2.25 nJ/bit at 10 Mb/s
+}
+
+// A mobile tag with a blockage episode: adaptation and ARQ ride it out.
+func ExampleSystem_RunMobile() {
+	sys, err := mmtag.NewSystem(mmtag.SystemConfig{})
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.AddTag(mmtag.TagSpec{ID: 1, DistanceM: 2, Modulation: "qpsk"}); err != nil {
+		panic(err)
+	}
+	rep, err := sys.RunMobile(mmtag.MobilityConfig{
+		TagID: 1,
+		Waypoints: []mmtag.MobileWaypoint{
+			{TimeS: 0, DistanceM: 2},
+			{TimeS: 0.1, DistanceM: 6},
+		},
+		Blockage: []mmtag.BlockageSpec{{StartS: 0.04, EndS: 0.06, AttenuationDB: 20}},
+		StepMs:   2,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivery ratio %.2f over %d steps\n", rep.DeliveryRatio(), len(rep.Samples))
+	// Output:
+	// delivery ratio 1.00 over 51 steps
+}
+
+// The switching-speed limit on data rate.
+func ExampleMaxBitRate() {
+	ook, _ := mmtag.MaxBitRate("ook", 2)
+	qpsk, _ := mmtag.MaxBitRate("qpsk", 2)
+	fmt.Printf("2 ns switch: OOK %.0f Mb/s, QPSK %.0f Mb/s\n", ook/1e6, qpsk/1e6)
+	// Output:
+	// 2 ns switch: OOK 183 Mb/s, QPSK 367 Mb/s
+}

@@ -1,0 +1,73 @@
+// Angledemo: why the tag antenna must be a Van Atta retro-reflector.
+// Three tags sit at the same range but at increasingly oblique
+// orientations; a retro-reflective array keeps its echo pointed at the
+// AP regardless, while a conventional (static) reflector would only
+// work when perfectly aligned. The demo shows SNR and the adapted rate
+// versus orientation through the public API, then quantifies the
+// baseline gap with the internal reflector models.
+//
+//	go run ./examples/angledemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmtag"
+	"mmtag/internal/antenna"
+	"mmtag/internal/rfmath"
+	"mmtag/internal/vanatta"
+)
+
+func main() {
+	fmt.Println("tag orientation sweep at 3 m (8-element van atta):")
+	fmt.Printf("%12s  %8s  %-16s\n", "orient_deg", "snr_dB", "adapted_rate")
+
+	for _, deg := range []float64{0, 10, 20, 30, 40, 50, 60} {
+		sys, err := mmtag.NewSystem(mmtag.SystemConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.AddTag(mmtag.TagSpec{
+			ID:             1,
+			DistanceM:      3,
+			OrientationDeg: deg,
+			Modulation:     "qpsk",
+		}); err != nil {
+			log.Fatal(err)
+		}
+		link, err := sys.Link(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.0f  %8.1f  %-16s\n", deg, link.SNRdB, link.BestRate)
+	}
+
+	// The counterfactual: how would a static reflector of the same
+	// aperture compare? (Echo power goes with the square of the
+	// per-pass gain.)
+	va, err := vanatta.New(vanatta.Config{Elements: 8, InsertionLossDB: 1.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat, err := vanatta.NewFlatPlate(nil, 8, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\necho-power penalty versus a perfectly-aligned tag (dB):")
+	fmt.Printf("%12s  %12s  %12s\n", "orient_deg", "van_atta", "flat_plate")
+	va0 := va.MonostaticGain(0)
+	fp0 := flat.MonostaticGain(0)
+	for _, deg := range []float64{0, 10, 20, 30, 40} {
+		th := antenna.Deg(deg)
+		vaPen := 2 * rfmath.DB(va0/va.MonostaticGain(th))
+		fpPen := 2 * rfmath.DB(fp0/flat.MonostaticGain(th))
+		fpCell := fmt.Sprintf("%12.1f", fpPen)
+		if fpPen > 60 {
+			fpCell = fmt.Sprintf("%12s", ">60 (null)")
+		}
+		fmt.Printf("%12.0f  %12.1f  %s\n", deg, vaPen, fpCell)
+	}
+	fmt.Println("\na flat reflector loses the link a few degrees off axis;")
+	fmt.Println("the van atta array pays only its element pattern.")
+}

@@ -1,0 +1,74 @@
+// Batteryfree: can an mmTag node live with no battery at all? The node
+// harvests DC power from the AP's own 24 GHz carrier through a
+// rectifier, banks it in a storage capacitor, and bursts its sensor
+// readings whenever enough charge accumulates. This demo computes the
+// harvest-limited operating envelope across distance — the E13
+// experiment as a narrative walkthrough.
+//
+//	go run ./examples/batteryfree
+package main
+
+import (
+	"fmt"
+
+	"mmtag/internal/channel"
+	"mmtag/internal/rfmath"
+	"mmtag/internal/tag"
+	"mmtag/internal/vanatta"
+)
+
+func main() {
+	// The standard testbed link (20 dBm AP, 20 dBi antenna, 8-element
+	// tag, 9 dB implementation losses).
+	arr, err := vanatta.New(vanatta.Config{Elements: 8, InsertionLossDB: 1.5})
+	if err != nil {
+		panic(err)
+	}
+	link := func(d float64) *channel.Link {
+		return &channel.Link{
+			FreqHz:             24e9,
+			TxPowerW:           rfmath.FromDBm(20),
+			APGain:             rfmath.FromDB(20),
+			Reflector:          arr,
+			DistanceM:          d,
+			ModEfficiency:      1,
+			NoiseFigureDB:      5,
+			PolarizationLossDB: 3,
+			MiscLossDB:         6,
+		}
+	}
+
+	h := tag.DefaultHarvester()
+	p := tag.DefaultPowerModel()
+	burst := 10e6 // the node bursts at 10 Mb/s OOK when awake
+	load := p.BackscatterPowerW(burst)
+
+	fmt.Println("battery-free mmTag node: harvest-limited operating envelope")
+	fmt.Printf("(rectifier %.0f%% peak, %.0f dBm sensitivity; burst rate %.0f Mb/s, load %.1f mW)\n\n",
+		h.PeakEfficiency*100, rfmath.DBm(h.SensitivityW), burst/1e6, load*1e3)
+	fmt.Printf("%8s  %12s  %11s  %11s  %14s  %12s\n",
+		"dist_m", "incident_dBm", "harvest_uW", "duty_pct", "avg_rate_kbps", "charge_s")
+
+	for _, d := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0} {
+		inc, err := link(d).TagIncidentPowerW()
+		if err != nil {
+			panic(err)
+		}
+		harvest := h.HarvestedPowerW(inc)
+		duty := h.DutyCycle(inc, load, p.SleepPowerW())
+		rate := h.SustainedBitRate(inc, p, burst, 1)
+		charge := h.TimeToCharge(inc, 100e-6, 1.8, 3.3)
+		chargeStr := fmt.Sprintf("%12.1f", charge)
+		if charge > 1e6 {
+			chargeStr = fmt.Sprintf("%12s", "never")
+		}
+		fmt.Printf("%8.2f  %12.1f  %11.2f  %11.4f  %14.1f  %s\n",
+			d, rfmath.DBm(inc), harvest*1e6, duty*100, rate/1e3, chargeStr)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - within arm's reach the node streams tens of kb/s forever, batteryless;")
+	fmt.Println("  - by ~1 m the harvest only covers the sleep floor: the node must wake rarely;")
+	fmt.Println("  - beyond that a battery (or a bigger rectenna) is required — which is why")
+	fmt.Println("    the headline mmTag design budgets a coin cell and treats harvesting as a bonus.")
+}

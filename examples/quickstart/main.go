@@ -1,0 +1,55 @@
+// Quickstart: bring up one access point and one backscatter tag, check
+// the link budget, and run a short inventory round.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmtag"
+)
+
+func main() {
+	// An AP with the reconstructed-testbed defaults: 24 GHz, 20 dBm,
+	// 16-element phased array.
+	sys, err := mmtag.NewSystem(mmtag.SystemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One tag, 3 m away, slightly off to the side, facing the AP.
+	if err := sys.AddTag(mmtag.TagSpec{
+		ID:         1,
+		DistanceM:  3,
+		AzimuthDeg: 10,
+		Modulation: "qpsk",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// What does the physics say about this link?
+	link, err := sys.Link(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uplink SNR:   %.1f dB (10 MHz bandwidth)\n", link.SNRdB)
+	fmt.Printf("echo power:   %.1f dBm at the AP\n", link.EchoPowerDBm)
+	fmt.Printf("best rate:    %s (%.0f Mb/s)\n", link.BestRate, link.GoodputMbps)
+
+	// How cheap is that for the tag?
+	e, err := mmtag.EnergyPerBit(link.GoodputMbps*1e6, "qpsk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tag energy:   %.2f nJ/bit\n", e*1e9)
+
+	// Run 100 ms of discovery + polling.
+	rep, err := sys.Run(mmtag.RunConfig{Duration: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndiscovered %d tag(s) in %.2f ms\n", rep.Discovered, rep.DiscoveryTime*1e3)
+	fmt.Printf("delivered %d frames, goodput %.1f Mb/s\n", rep.FramesOK, rep.GoodputBps/1e6)
+}

@@ -1,0 +1,63 @@
+// Sensorstream: a wearable-class tag (think AR glasses accessory or a
+// medical patch) streams telemetry uplink while its wearer walks away
+// from the access point. Link adaptation steps the backscatter rate
+// down as the budget thins; the tag's energy per delivered bit stays in
+// the nanojoule range throughout — the property that lets it live on a
+// coin cell for years.
+//
+//	go run ./examples/sensorstream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmtag"
+)
+
+func main() {
+	fmt.Println("wearable telemetry stream: walking away from the AP")
+	fmt.Printf("%8s  %9s  %-16s  %10s  %12s  %10s\n",
+		"dist_m", "snr_dB", "rate", "Mb/s", "frames_ok", "nJ/bit")
+
+	for _, d := range []float64{1, 2, 3, 4, 5, 6, 8, 10, 12} {
+		// Rebuild the deployment at each waypoint (tags are static in
+		// the simulator; the walk is a sequence of snapshots).
+		sys, err := mmtag.NewSystem(mmtag.SystemConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.AddTag(mmtag.TagSpec{
+			ID:         1,
+			DistanceM:  d,
+			Modulation: "qpsk",
+			// A worn device is rarely square to the AP.
+			OrientationDeg: 20,
+		}); err != nil {
+			log.Fatal(err)
+		}
+
+		link, err := sys.Link(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Run(mmtag.RunConfig{Duration: 0.05, Seed: int64(d * 10)})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		nJ := 0.0
+		if rep.EnergyPerBitJ > 0 {
+			nJ = rep.EnergyPerBitJ * 1e9
+		}
+		status := ""
+		if rep.Discovered == 0 {
+			status = "  <- out of range"
+		}
+		fmt.Printf("%8.1f  %9.1f  %-16s  %10.2f  %12d  %10.2f%s\n",
+			d, link.SNRdB, link.BestRate, rep.GoodputBps/1e6, rep.FramesOK, nJ, status)
+	}
+
+	fmt.Println("\nthe rate ladder steps down with distance while energy/bit stays in the nJ range;")
+	fmt.Println("an active mmWave radio would burn two orders of magnitude more per bit.")
+}

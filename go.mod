@@ -1,0 +1,3 @@
+module mmtag
+
+go 1.22

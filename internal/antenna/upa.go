@@ -1,0 +1,97 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// UPA is a uniform planar (rectangular) array with electronic steering
+// in azimuth and elevation — the model for a 2-D access-point front end
+// (e.g. an 8×8 panel). Angles use the (azimuth, elevation) convention
+// with broadside at (0, 0); the direction-cosine coordinates are
+// u = sin(az)·cos(el), v = sin(el).
+type UPA struct {
+	element Element
+	nx, ny  int
+	dx, dy  float64 // element pitch in wavelengths
+
+	steerU, steerV float64
+}
+
+// NewUPA constructs an nx×ny planar array with the given element
+// pattern and pitches in wavelengths (0.5 = half-wave).
+func NewUPA(element Element, nx, ny int, dx, dy float64) (*UPA, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("antenna: UPA needs >= 1 element per axis, got %dx%d", nx, ny)
+	}
+	if dx <= 0 || dy <= 0 {
+		return nil, fmt.Errorf("antenna: UPA pitches must be positive, got %g, %g", dx, dy)
+	}
+	if element == nil {
+		element = NewPatch()
+	}
+	return &UPA{element: element, nx: nx, ny: ny, dx: dx, dy: dy}, nil
+}
+
+// N returns the total element count.
+func (u *UPA) N() int { return u.nx * u.ny }
+
+// Steer points the main beam at (azimuth, elevation) radians.
+func (u *UPA) Steer(azRad, elRad float64) {
+	u.steerU = math.Sin(azRad) * math.Cos(elRad)
+	u.steerV = math.Sin(elRad)
+}
+
+// ArrayFactor returns the complex array factor toward (az, el) for the
+// current steering; |AF| = N at the steered direction.
+func (u *UPA) ArrayFactor(azRad, elRad float64) complex128 {
+	uu := math.Sin(azRad)*math.Cos(elRad) - u.steerU
+	vv := math.Sin(elRad) - u.steerV
+	// Separable: AF = AFx(uu) * AFy(vv).
+	afAxis := func(n int, d, w float64) complex128 {
+		var af complex128
+		for k := 0; k < n; k++ {
+			af += cmplx.Exp(complex(0, 2*math.Pi*d*w*float64(k)))
+		}
+		return af
+	}
+	return afAxis(u.nx, u.dx, uu) * afAxis(u.ny, u.dy, vv)
+}
+
+// Gain returns the linear power gain toward (az, el): element pattern
+// (applied on the total off-broadside angle) times the normalized array
+// factor power times the array directivity N.
+func (u *UPA) Gain(azRad, elRad float64) float64 {
+	af := u.ArrayFactor(azRad, elRad)
+	n := float64(u.N())
+	afPow := (real(af)*real(af) + imag(af)*imag(af)) / (n * n)
+	// Total angle from broadside for the element pattern.
+	cosTheta := math.Cos(azRad) * math.Cos(elRad)
+	theta := math.Acos(clamp(cosTheta, -1, 1))
+	return u.element.Gain(theta) * afPow * n
+}
+
+// PeakGain returns the gain at the steered direction.
+func (u *UPA) PeakGain() float64 {
+	az := math.Asin(clamp(u.steerU/math.Max(math.Cos(math.Asin(clamp(u.steerV, -1, 1))), 1e-12), -1, 1))
+	el := math.Asin(clamp(u.steerV, -1, 1))
+	return u.Gain(az, el)
+}
+
+// AzimuthBeamwidth and ElevationBeamwidth return the approximate -3 dB
+// widths (radians) of the broadside beam per axis.
+func (u *UPA) AzimuthBeamwidth() float64 { return 0.886 / (float64(u.nx) * u.dx) }
+
+// ElevationBeamwidth returns the elevation-axis beamwidth.
+func (u *UPA) ElevationBeamwidth() float64 { return 0.886 / (float64(u.ny) * u.dy) }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,93 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewUPAValidation(t *testing.T) {
+	if _, err := NewUPA(nil, 0, 4, 0.5, 0.5); err == nil {
+		t.Fatal("zero nx must error")
+	}
+	if _, err := NewUPA(nil, 4, 0, 0.5, 0.5); err == nil {
+		t.Fatal("zero ny must error")
+	}
+	if _, err := NewUPA(nil, 4, 4, 0, 0.5); err == nil {
+		t.Fatal("zero pitch must error")
+	}
+	u, err := NewUPA(nil, 8, 8, 0.5, 0.5)
+	if err != nil || u.N() != 64 {
+		t.Fatalf("valid UPA rejected: %v", err)
+	}
+}
+
+func TestUPABroadsideGain(t *testing.T) {
+	u, _ := NewUPA(Isotropic{}, 8, 8, 0.5, 0.5)
+	// Peak at broadside = N = 64 (18 dB) for isotropic elements.
+	if g := u.Gain(0, 0); math.Abs(g-64) > 1e-9 {
+		t.Fatalf("broadside gain %g, want 64", g)
+	}
+	af := u.ArrayFactor(0, 0)
+	if m := math.Hypot(real(af), imag(af)); math.Abs(m-64) > 1e-9 {
+		t.Fatalf("|AF| %g, want 64", m)
+	}
+}
+
+func TestUPASteering2D(t *testing.T) {
+	u, _ := NewUPA(Isotropic{}, 8, 8, 0.5, 0.5)
+	az, el := Deg(20), Deg(-15)
+	u.Steer(az, el)
+	onBeam := u.Gain(az, el)
+	if math.Abs(onBeam-64) > 1e-6 {
+		t.Fatalf("steered gain %g, want 64", onBeam)
+	}
+	if p := u.PeakGain(); math.Abs(p-onBeam) > 1e-6 {
+		t.Fatalf("PeakGain %g vs steered %g", p, onBeam)
+	}
+	// Off-beam in either axis drops hard.
+	if g := u.Gain(Deg(-20), el); g > onBeam/10 {
+		t.Fatalf("azimuth off-beam gain %g too high", g)
+	}
+	if g := u.Gain(az, Deg(15)); g > onBeam/10 {
+		t.Fatalf("elevation off-beam gain %g too high", g)
+	}
+}
+
+func TestUPABeamwidths(t *testing.T) {
+	// A wide, short panel: narrow in azimuth, broad in elevation.
+	u, _ := NewUPA(Isotropic{}, 16, 4, 0.5, 0.5)
+	if u.AzimuthBeamwidth() >= u.ElevationBeamwidth() {
+		t.Fatal("16x4 panel must be narrower in azimuth")
+	}
+	// The -3 dB point lands near the predicted half-beamwidth.
+	peak := u.Gain(0, 0)
+	edge := u.Gain(u.AzimuthBeamwidth()/2, 0)
+	drop := 10 * math.Log10(peak/edge)
+	if drop < 2 || drop > 4 {
+		t.Fatalf("azimuth drop at HPBW/2 = %g dB", drop)
+	}
+}
+
+func TestUPADegeneratesToULA(t *testing.T) {
+	// A 1-row UPA matches the ULA pattern along azimuth at zero
+	// elevation.
+	upa, _ := NewUPA(Isotropic{}, 8, 1, 0.5, 0.5)
+	ula, _ := NewULA(Isotropic{}, 8, 0.5)
+	for _, az := range []float64{0, 0.2, 0.5, -0.7} {
+		gu := upa.Gain(az, 0)
+		gl := ula.Gain(az)
+		if math.Abs(gu-gl) > 1e-9*(gu+gl+1) {
+			t.Fatalf("az %g: UPA %g vs ULA %g", az, gu, gl)
+		}
+	}
+}
+
+func TestUPAElementPatternApplied(t *testing.T) {
+	iso, _ := NewUPA(Isotropic{}, 4, 4, 0.5, 0.5)
+	patch, _ := NewUPA(NewPatch(), 4, 4, 0.5, 0.5)
+	// At broadside the patch panel is element-gain ahead.
+	ratio := patch.Gain(0, 0) / iso.Gain(0, 0)
+	if math.Abs(10*math.Log10(ratio)-5) > 0.05 {
+		t.Fatalf("element gain ratio %g dB, want 5", 10*math.Log10(ratio))
+	}
+}

@@ -1,0 +1,374 @@
+package ap
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmtag/internal/dsp"
+	"mmtag/internal/frame"
+	"mmtag/internal/phy"
+)
+
+// UplinkResult reports a demodulated uplink reception.
+type UplinkResult struct {
+	// Frame is the decoded frame (nil when decoding failed).
+	Frame *frame.Frame
+	// SyncScore is the preamble correlation quality in [0, 1].
+	SyncScore float64
+	// SyncSymbol is the symbol index where the preamble was found.
+	SyncSymbol int
+	// Gain and Offset are the estimated one-tap channel and static
+	// (self-interference + clutter) terms.
+	Gain   complex128
+	Offset complex128
+	// EVM is the post-equalization error vector magnitude of the data
+	// symbols.
+	EVM float64
+	// Err carries the decode failure, if any.
+	Err error
+}
+
+// OK reports whether the frame decoded cleanly.
+func (r *UplinkResult) OK() bool { return r.Frame != nil && r.Err == nil }
+
+// Demodulator is the AP's uplink symbol pipeline, bound to a tag
+// alphabet and frame geometry.
+type Demodulator struct {
+	constellation *phy.Constellation
+	preambleBits  []byte
+	preamblePts   []complex128 // alphabet points of the preamble bits
+	centredPre    []complex128 // mean-removed preamble for correlation
+	opts          frame.Options
+}
+
+// NewDemodulator builds a demodulator for the given tag alphabet,
+// preamble length (bits) and frame options. The preamble bits are mapped
+// one bit per symbol onto the alphabet's first two states, so any
+// alphabet (including OOK) yields a binary sync pattern.
+func NewDemodulator(c *phy.Constellation, preambleLen int, opts frame.Options) (*Demodulator, error) {
+	if c == nil {
+		return nil, fmt.Errorf("ap: constellation is required")
+	}
+	if preambleLen < 8 {
+		return nil, fmt.Errorf("ap: preamble must be >= 8 bits, got %d", preambleLen)
+	}
+	bits := frame.Preamble(preambleLen)
+	pts := make([]complex128, preambleLen)
+	var mean complex128
+	for i, b := range bits {
+		pts[i] = c.Point(int(b))
+		mean += pts[i]
+	}
+	mean /= complex(float64(preambleLen), 0)
+	centred := make([]complex128, preambleLen)
+	for i := range pts {
+		centred[i] = pts[i] - mean
+	}
+	return &Demodulator{
+		constellation: c,
+		preambleBits:  bits,
+		preamblePts:   pts,
+		centredPre:    centred,
+		opts:          opts,
+	}, nil
+}
+
+// PreambleLen returns the preamble length in symbols.
+func (d *Demodulator) PreambleLen() int { return len(d.preambleBits) }
+
+// PreambleSymbolIndices returns the alphabet symbol indices the tag
+// modulates for the preamble.
+func (d *Demodulator) PreambleSymbolIndices() []int {
+	out := make([]int, len(d.preambleBits))
+	for i, b := range d.preambleBits {
+		out[i] = int(b)
+	}
+	return out
+}
+
+// integrateAndDump matched-filters an oversampled waveform into one
+// decision point per symbol: the mean of each symbol's later samples
+// (skipping the first quarter, where the switch transition lives).
+func integrateAndDump(x []complex128, sps int) []complex128 {
+	n := len(x) / sps
+	out := make([]complex128, n)
+	skip := sps / 4
+	for k := 0; k < n; k++ {
+		var acc complex128
+		cnt := 0
+		for i := skip; i < sps; i++ {
+			acc += x[k*sps+i]
+			cnt++
+		}
+		out[k] = acc / complex(float64(cnt), 0)
+	}
+	return out
+}
+
+// Demodulate runs the full uplink pipeline on an oversampled baseband
+// waveform: symbol integration, preamble search (over symbol-timing
+// offsets), joint gain/offset estimation, equalization, slicing, and
+// frame decode. sps is the receiver's samples per symbol.
+func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
+	res := &UplinkResult{SyncSymbol: -1}
+	if sps < 2 || len(rx) < sps*(len(d.preambleBits)+8) {
+		res.Err = fmt.Errorf("ap: waveform too short for demodulation")
+		return res
+	}
+	// Try every sub-symbol alignment; keep the best preamble correlation.
+	bestLag, bestScore := -1, 0.0
+	var bestSyms []complex128
+	for off := 0; off < sps; off++ {
+		syms := integrateAndDump(rx[off:], sps)
+		if len(syms) < len(d.centredPre)+1 {
+			continue
+		}
+		lag, score := offsetImmunePeak(syms, d.centredPre)
+		if score > bestScore {
+			bestLag, bestScore = lag, score
+			bestSyms = syms
+		}
+	}
+	res.SyncScore = bestScore
+	if bestLag < 0 || bestScore < 0.5 {
+		res.Err = fmt.Errorf("ap: preamble not found (best score %.2f)", bestScore)
+		return res
+	}
+	res.SyncSymbol = bestLag
+
+	// Joint least-squares estimate of (gain a, offset b) from the known
+	// preamble: rx = a*p + b.
+	pre := bestSyms[bestLag : bestLag+len(d.preamblePts)]
+	a, b, err := fitGainOffset(pre, d.preamblePts)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Gain, res.Offset = a, b
+
+	// Equalize everything after the preamble and slice.
+	data := bestSyms[bestLag+len(d.preamblePts):]
+	eq := make([]complex128, len(data))
+	inv := complex(1, 0) / a
+	for i, v := range data {
+		eq[i] = (v - b) * inv
+	}
+	res.EVM = d.constellation.EVM(eq)
+	f, err := d.decide(eq)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Frame = f
+	return res
+}
+
+// decide turns equalized symbols into a frame. For coded frames on a
+// binary alphabet it extracts per-bit soft levels (the projection onto
+// the axis between the two states) and decodes through the soft Viterbi
+// path, falling back to hard decisions when the soft parse fails.
+func (d *Demodulator) decide(eq []complex128) (*frame.Frame, error) {
+	if d.opts.Coded && d.constellation.Size() == 2 {
+		p0, p1 := d.constellation.Point(0), d.constellation.Point(1)
+		axis := p1 - p0
+		den := real(axis)*real(axis) + imag(axis)*imag(axis)
+		if den > 1e-30 {
+			levels := make([]float64, len(eq))
+			for i, v := range eq {
+				rel := v - p0
+				levels[i] = (real(rel)*real(axis) + imag(rel)*imag(axis)) / den
+			}
+			if f, _, err := frame.DecodeBitsSoft(levels, d.opts); err == nil {
+				return f, nil
+			}
+		}
+	}
+	symIdx := d.constellation.Slice(nil, eq)
+	bits := d.constellation.UnmapBits(nil, symIdx)
+	f, _, err := frame.DecodeBits(bits, d.opts)
+	return f, err
+}
+
+// DemodulateEqualized runs the Demodulate pipeline with an extra
+// receiver stage for links with resolvable multipath: after sync and
+// offset removal it sounds the symbol-spaced channel from the known
+// preamble, designs an MMSE linear equalizer over maxChannelTaps, and
+// slices the equalized symbols. On a flat channel it converges to the
+// one-tap receiver; on an ISI channel it recovers frames the plain
+// pipeline loses.
+func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps int) *UplinkResult {
+	res := &UplinkResult{SyncSymbol: -1}
+	if maxChannelTaps < 1 {
+		res.Err = fmt.Errorf("ap: maxChannelTaps must be >= 1")
+		return res
+	}
+	if sps < 2 || len(rx) < sps*(len(d.preambleBits)+8) {
+		res.Err = fmt.Errorf("ap: waveform too short for demodulation")
+		return res
+	}
+	// Under ISI, raw correlation can prefer a sub-symbol alignment that
+	// straddles symbol boundaries, so pick the alignment by the quality
+	// of the joint channel+offset fit on the preamble instead: the true
+	// alignment is the one the linear symbol-level model explains best.
+	bestLag, bestScore := -1, 0.0
+	bestResidual := math.Inf(1)
+	var bestSyms []complex128
+	var bestH []complex128
+	var bestB complex128
+	for off := 0; off < sps; off++ {
+		syms := integrateAndDump(rx[off:], sps)
+		if len(syms) < len(d.centredPre)+maxChannelTaps {
+			continue
+		}
+		lag, score := offsetImmunePeak(syms, d.centredPre)
+		if lag < 0 || score < 0.4 {
+			continue
+		}
+		if len(syms)-lag < len(d.preamblePts)+maxChannelTaps-1 {
+			continue
+		}
+		h, b, err := phy.EstimateCIRWithOffset(syms[lag:], d.preamblePts, maxChannelTaps)
+		if err != nil {
+			continue
+		}
+		resid := preambleFitResidual(syms[lag:], d.preamblePts, h, b, maxChannelTaps)
+		if resid < bestResidual {
+			bestResidual = resid
+			bestLag, bestScore = lag, score
+			bestSyms, bestH, bestB = syms, h, b
+		}
+	}
+	res.SyncScore = bestScore
+	if bestLag < 0 {
+		res.Err = fmt.Errorf("ap: preamble not found")
+		return res
+	}
+	res.SyncSymbol = bestLag
+	h, b := bestH, bestB
+	res.Gain, res.Offset = h[0], b
+	stream := make([]complex128, len(bestSyms)-bestLag)
+	for i := range stream {
+		stream[i] = bestSyms[bestLag+i] - b
+	}
+	h0 := cmplx.Abs(h[0])
+	if h0 < 1e-18 {
+		res.Err = fmt.Errorf("ap: degenerate channel estimate")
+		return res
+	}
+	nTaps := 4*maxChannelTaps + 9
+	delay := (len(h) + nTaps) / 2
+	w, err := phy.DesignEqualizer(h, nTaps, delay, 0.01*h0*h0)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	eq := phy.Equalize(stream, w, delay)
+	data := eq[len(d.preamblePts):]
+	res.EVM = d.constellation.EVM(data)
+	symIdx := d.constellation.Slice(nil, data)
+	bits := d.constellation.UnmapBits(nil, symIdx)
+	f, _, err := frame.DecodeBits(bits, d.opts)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Frame = f
+	return res
+}
+
+// preambleFitResidual returns the mean squared residual of the joint
+// channel+offset model over the preamble span, normalized by |h[0]|².
+func preambleFitResidual(stream, pre []complex128, h []complex128, b complex128, maxLag int) float64 {
+	h0 := real(h[0])*real(h[0]) + imag(h[0])*imag(h[0])
+	if h0 < 1e-30 {
+		return math.Inf(1)
+	}
+	var sum float64
+	n := 0
+	for i := maxLag - 1; i < len(pre); i++ {
+		model := b
+		for k, hv := range h {
+			model += hv * pre[i-k]
+		}
+		r := stream[i] - model
+		sum += real(r)*real(r) + imag(r)*imag(r)
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n) / h0
+}
+
+// offsetImmunePeak correlates x against a zero-mean reference and
+// normalizes each window by its own variance, so an arbitrarily large
+// constant offset (the uncancelled self-interference) neither shifts the
+// peak nor deflates the score: with a zero-mean ref the numerator
+// sum((x+c) * conj(ref)) is independent of c, and subtracting the window
+// mean from the energy removes c from the denominator too.
+func offsetImmunePeak(x, ref []complex128) (int, float64) {
+	m := len(ref)
+	if m == 0 || len(x) < m {
+		return -1, 0
+	}
+	refE := dsp.Energy(ref)
+	if refE == 0 {
+		return -1, 0
+	}
+	corr := dsp.CrossCorrelate(x, ref)
+	// Sliding window sum and energy via prefix sums.
+	prefSum := make([]complex128, len(x)+1)
+	prefE := make([]float64, len(x)+1)
+	for i, v := range x {
+		prefSum[i+1] = prefSum[i] + v
+		prefE[i+1] = prefE[i] + real(v)*real(v) + imag(v)*imag(v)
+	}
+	bestLag, bestScore := -1, 0.0
+	for k, c := range corr {
+		wSum := prefSum[k+m] - prefSum[k]
+		wE := prefE[k+m] - prefE[k]
+		// Variance-style energy: window energy minus offset contribution.
+		varE := wE - (real(wSum)*real(wSum)+imag(wSum)*imag(wSum))/float64(m)
+		if varE <= 1e-30 {
+			continue
+		}
+		s := cmplxAbs(c) / math.Sqrt(varE*refE)
+		if s > bestScore {
+			bestLag, bestScore = k, s
+		}
+	}
+	return bestLag, bestScore
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+// fitGainOffset solves min over (a, b) of sum |r - a*p - b|^2.
+func fitGainOffset(r, p []complex128) (a, b complex128, err error) {
+	if len(r) != len(p) || len(r) == 0 {
+		return 0, 0, fmt.Errorf("ap: gain/offset fit length mismatch")
+	}
+	n := complex(float64(len(p)), 0)
+	var sp, sr complex128
+	var spp float64
+	var srp complex128
+	for i := range p {
+		sp += p[i]
+		sr += r[i]
+		spp += real(p[i])*real(p[i]) + imag(p[i])*imag(p[i])
+		srp += r[i] * cmplx.Conj(p[i])
+	}
+	// Normal equations:
+	//   a*spp + b*conj(sp) = srp
+	//   a*sp  + b*n        = sr
+	det := complex(spp, 0)*n - sp*cmplx.Conj(sp)
+	if cmplx.Abs(det) < 1e-18 {
+		return 0, 0, fmt.Errorf("ap: degenerate preamble for gain/offset fit")
+	}
+	a = (srp*n - sr*cmplx.Conj(sp)) / det
+	b = (complex(spp, 0)*sr - sp*srp) / det
+	if cmplx.Abs(a) < 1e-18 {
+		return 0, 0, fmt.Errorf("ap: zero gain estimate")
+	}
+	return a, b, nil
+}

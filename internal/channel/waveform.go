@@ -1,0 +1,168 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// AWGN adds complex white Gaussian noise with the given total noise power
+// (variance split evenly between I and Q) to x in place and returns x.
+// The rng makes runs reproducible.
+func AWGN(rng *rand.Rand, x []complex128, noisePower float64) []complex128 {
+	if noisePower < 0 {
+		panic("channel: noise power must be >= 0")
+	}
+	sigma := math.Sqrt(noisePower / 2)
+	for i := range x {
+		x[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return x
+}
+
+// NoiseFor returns the noise power that yields the requested linear SNR
+// for a signal of the given power.
+func NoiseFor(signalPower, snr float64) float64 {
+	if snr <= 0 {
+		panic("channel: SNR must be positive")
+	}
+	return signalPower / snr
+}
+
+// ApplyCFO rotates x by a carrier frequency offset of cfoHz at the given
+// sample rate, in place, starting from the supplied phase (radians).
+// It returns the phase after the block so streams can continue.
+func ApplyCFO(x []complex128, cfoHz, sampleRate, startPhase float64) float64 {
+	step := 2 * math.Pi * cfoHz / sampleRate
+	phase := startPhase
+	for i := range x {
+		x[i] *= cmplx.Exp(complex(0, phase))
+		phase += step
+	}
+	return math.Mod(phase, 2*math.Pi)
+}
+
+// PhaseNoise applies a Wiener (random-walk) phase noise process to x in
+// place, parameterized by the oscillator's Lorentzian 3 dB linewidth in
+// hertz. The per-sample phase increment variance is 2*pi*linewidth/fs.
+// Returns x.
+func PhaseNoise(rng *rand.Rand, x []complex128, linewidthHz, sampleRate float64) []complex128 {
+	if linewidthHz < 0 {
+		panic("channel: linewidth must be >= 0")
+	}
+	if linewidthHz == 0 {
+		return x
+	}
+	sigma := math.Sqrt(2 * math.Pi * linewidthHz / sampleRate)
+	phase := 0.0
+	for i := range x {
+		phase += rng.NormFloat64() * sigma
+		x[i] *= cmplx.Exp(complex(0, phase))
+	}
+	return x
+}
+
+// Tap is one discrete multipath component.
+type Tap struct {
+	DelaySamples int
+	Gain         complex128
+}
+
+// RicianTaps draws a small-scale multipath profile: a unit-power LOS tap
+// at delay 0 plus nTaps scattered taps with total power 1/K (Rician
+// K-factor, linear) and exponentially decaying delay profile. mmWave
+// indoor links are strongly Rician (K of 7-15 dB) because the narrow
+// beams suppress most scatterers.
+func RicianTaps(rng *rand.Rand, kFactor float64, nTaps, maxDelay int) ([]Tap, error) {
+	if kFactor <= 0 {
+		return nil, fmt.Errorf("channel: K-factor must be positive, got %g", kFactor)
+	}
+	if nTaps < 0 || maxDelay < 1 {
+		return nil, fmt.Errorf("channel: invalid tap configuration (%d taps, max delay %d)", nTaps, maxDelay)
+	}
+	taps := []Tap{{DelaySamples: 0, Gain: 1}}
+	if nTaps == 0 {
+		return taps, nil
+	}
+	// Scattered power budget, split across taps with exponential decay.
+	total := 1 / kFactor
+	weights := make([]float64, nTaps)
+	wSum := 0.0
+	for i := range weights {
+		weights[i] = math.Exp(-float64(i))
+		wSum += weights[i]
+	}
+	for i := 0; i < nTaps; i++ {
+		p := total * weights[i] / wSum
+		sigma := math.Sqrt(p / 2)
+		g := complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		d := 1 + rng.Intn(maxDelay)
+		taps = append(taps, Tap{DelaySamples: d, Gain: g})
+	}
+	return taps, nil
+}
+
+// ApplyTaps convolves x with a sparse tap set, returning a new slice of
+// the same length.
+func ApplyTaps(x []complex128, taps []Tap) []complex128 {
+	out := make([]complex128, len(x))
+	for _, tp := range taps {
+		if tp.DelaySamples < 0 {
+			panic("channel: negative tap delay")
+		}
+		for i := tp.DelaySamples; i < len(x); i++ {
+			out[i] += tp.Gain * x[i-tp.DelaySamples]
+		}
+	}
+	return out
+}
+
+// Doppler returns the Doppler shift in hertz for a radial velocity
+// (m/s, positive = closing) at the carrier. For backscatter the shift is
+// doubled because the wave traverses the moving path twice.
+func Doppler(velocityMS, freqHz float64, backscatter bool) float64 {
+	shift := velocityMS * freqHz / 299_792_458.0
+	if backscatter {
+		return 2 * shift
+	}
+	return shift
+}
+
+// Blockage is an on-off shadowing process: intervals during which the
+// link is attenuated by a fixed amount (a person crossing the beam).
+type Blockage struct {
+	// AttenuationDB is the extra loss while blocked (human body at
+	// mmWave: 20-40 dB).
+	AttenuationDB float64
+	// Events lists [start, end) sample intervals that are blocked.
+	Events [][2]int
+}
+
+// Apply scales the blocked intervals of x in place and returns x.
+func (b Blockage) Apply(x []complex128) []complex128 {
+	g := complex(math.Pow(10, -b.AttenuationDB/20), 0)
+	for _, ev := range b.Events {
+		start, end := ev[0], ev[1]
+		if start < 0 {
+			start = 0
+		}
+		if end > len(x) {
+			end = len(x)
+		}
+		for i := start; i < end; i++ {
+			x[i] *= g
+		}
+	}
+	return x
+}
+
+// Blocked reports whether sample i falls inside a blockage event.
+func (b Blockage) Blocked(i int) bool {
+	for _, ev := range b.Events {
+		if i >= ev[0] && i < ev[1] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmtag/internal/dsp"
+)
+
+func TestAWGNPowerAndReproducibility(t *testing.T) {
+	n := 200000
+	x := make([]complex128, n)
+	AWGN(rand.New(rand.NewSource(1)), x, 4)
+	p := dsp.Power(x)
+	if math.Abs(p-4) > 0.1 {
+		t.Fatalf("noise power %g, want 4", p)
+	}
+	// Same seed, same noise.
+	y := make([]complex128, 16)
+	z := make([]complex128, 16)
+	AWGN(rand.New(rand.NewSource(7)), y, 1)
+	AWGN(rand.New(rand.NewSource(7)), z, 1)
+	for i := range y {
+		if y[i] != z[i] {
+			t.Fatal("AWGN must be reproducible under a fixed seed")
+		}
+	}
+	// Zero power adds nothing.
+	w := []complex128{1, 2}
+	AWGN(rand.New(rand.NewSource(1)), w, 0)
+	if w[0] != 1 || w[1] != 2 {
+		t.Fatal("zero noise power must be a no-op")
+	}
+}
+
+func TestAWGNPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AWGN(rand.New(rand.NewSource(1)), make([]complex128, 1), -1)
+}
+
+func TestNoiseFor(t *testing.T) {
+	if np := NoiseFor(2, 4); math.Abs(np-0.5) > 1e-15 {
+		t.Fatalf("NoiseFor = %g", np)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive SNR")
+		}
+	}()
+	NoiseFor(1, 0)
+}
+
+func TestApplyCFOShiftsSpectrum(t *testing.T) {
+	fs := 1e6
+	x := dsp.Tone(100e3, fs, 4096, 0)
+	ApplyCFO(x, 50e3, fs, 0)
+	got := dsp.DominantFrequency(x, fs)
+	if math.Abs(got-150e3) > 100 {
+		t.Fatalf("CFO-shifted frequency %g, want 150 kHz", got)
+	}
+}
+
+func TestApplyCFOPhaseContinuity(t *testing.T) {
+	fs := 1e6
+	a := dsp.Tone(0, fs, 64, 0)
+	b := dsp.Tone(0, fs, 64, 0)
+	joined := dsp.Tone(0, fs, 128, 0)
+	ph := ApplyCFO(a, 10e3, fs, 0)
+	ApplyCFO(b, 10e3, fs, ph)
+	ApplyCFO(joined, 10e3, fs, 0)
+	for i := 0; i < 64; i++ {
+		if cmplx.Abs(a[i]-joined[i]) > 1e-9 || cmplx.Abs(b[i]-joined[64+i]) > 1e-9 {
+			t.Fatal("CFO must be phase-continuous across blocks")
+		}
+	}
+}
+
+func TestPhaseNoisePreservesMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := dsp.Tone(0.1, 1, 1024, 0)
+	PhaseNoise(rng, x, 100e3, 100e6)
+	for i, v := range x {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Fatalf("phase noise changed magnitude at %d", i)
+		}
+	}
+}
+
+func TestPhaseNoiseBroadensLinewidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fs := 10e6
+	clean := dsp.Tone(0, fs, 16384, 0)
+	dirty := dsp.Tone(0, fs, 16384, 0)
+	PhaseNoise(rng, dirty, 50e3, fs)
+	// The clean tone concentrates power in one bin; the noisy one leaks.
+	cp := dsp.Periodogram(clean, dsp.Rectangular)
+	dp := dsp.Periodogram(dirty, dsp.Rectangular)
+	peak := func(p []float64) float64 {
+		m := 0.0
+		for _, v := range p {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if peak(dp) > peak(cp)/2 {
+		t.Fatal("phase noise should spread the tone across bins")
+	}
+	// Zero linewidth is a no-op.
+	x := dsp.Tone(0, fs, 64, 0.5)
+	y := append([]complex128{}, x...)
+	PhaseNoise(rng, y, 0, fs)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("zero linewidth must not modify the signal")
+		}
+	}
+}
+
+func TestRicianTaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	taps, err := RicianTaps(rng, 10, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taps) != 5 {
+		t.Fatalf("tap count %d, want 5", len(taps))
+	}
+	if taps[0].DelaySamples != 0 || taps[0].Gain != 1 {
+		t.Fatal("first tap must be the unit LOS tap")
+	}
+	for _, tp := range taps[1:] {
+		if tp.DelaySamples < 1 || tp.DelaySamples > 8 {
+			t.Fatalf("scattered delay %d outside [1,8]", tp.DelaySamples)
+		}
+	}
+	// Average scattered power over many draws approaches 1/K.
+	sum := 0.0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		tt, _ := RicianTaps(rng, 10, 4, 8)
+		for _, tp := range tt[1:] {
+			sum += real(tp.Gain)*real(tp.Gain) + imag(tp.Gain)*imag(tp.Gain)
+		}
+	}
+	avg := sum / draws
+	if math.Abs(avg-0.1) > 0.02 {
+		t.Fatalf("mean scattered power %g, want 0.1", avg)
+	}
+}
+
+func TestRicianTapsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := RicianTaps(rng, 0, 4, 8); err == nil {
+		t.Fatal("zero K must error")
+	}
+	if _, err := RicianTaps(rng, 10, -1, 8); err == nil {
+		t.Fatal("negative taps must error")
+	}
+	if _, err := RicianTaps(rng, 10, 2, 0); err == nil {
+		t.Fatal("zero max delay must error")
+	}
+	// LOS-only profile.
+	taps, err := RicianTaps(rng, 10, 0, 8)
+	if err != nil || len(taps) != 1 {
+		t.Fatalf("LOS-only profile: %v, %v", taps, err)
+	}
+}
+
+func TestApplyTapsIdentityAndEcho(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	y := ApplyTaps(x, []Tap{{0, 1}})
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("unit tap must be identity")
+		}
+	}
+	// A half-amplitude echo at delay 2.
+	y = ApplyTaps(x, []Tap{{0, 1}, {2, 0.5}})
+	want := []complex128{1, 2, 3.5, 5}
+	for i := range want {
+		if cmplx.Abs(y[i]-want[i]) > 1e-15 {
+			t.Fatalf("echo output %v, want %v", y, want)
+		}
+	}
+}
+
+func TestDoppler(t *testing.T) {
+	// 1 m/s at 24 GHz: ~80 Hz one-way, 160 Hz backscatter.
+	oneWay := Doppler(1, 24e9, false)
+	if math.Abs(oneWay-80.06) > 0.1 {
+		t.Fatalf("one-way Doppler %g Hz, want ~80", oneWay)
+	}
+	if back := Doppler(1, 24e9, true); math.Abs(back-2*oneWay) > 1e-12 {
+		t.Fatal("backscatter Doppler must double")
+	}
+	// Receding target: negative shift.
+	if Doppler(-1, 24e9, false) >= 0 {
+		t.Fatal("receding Doppler must be negative")
+	}
+}
+
+func TestBlockage(t *testing.T) {
+	b := Blockage{AttenuationDB: 20, Events: [][2]int{{2, 4}, {90, 200}}}
+	x := make([]complex128, 8)
+	for i := range x {
+		x[i] = 1
+	}
+	b.Apply(x)
+	for i, v := range x {
+		wantBlocked := i == 2 || i == 3
+		if wantBlocked != b.Blocked(i) {
+			t.Fatalf("Blocked(%d) inconsistent", i)
+		}
+		if wantBlocked {
+			if math.Abs(cmplx.Abs(v)-0.1) > 1e-12 {
+				t.Fatalf("blocked sample %d amplitude %g, want 0.1", i, cmplx.Abs(v))
+			}
+		} else if v != 1 {
+			t.Fatalf("unblocked sample %d modified", i)
+		}
+	}
+}
+
+func TestBlockageClampsRanges(t *testing.T) {
+	b := Blockage{AttenuationDB: 20, Events: [][2]int{{-5, 100}}}
+	x := make([]complex128, 3)
+	for i := range x {
+		x[i] = 1
+	}
+	b.Apply(x) // must not panic
+	for _, v := range x {
+		if math.Abs(cmplx.Abs(v)-0.1) > 1e-12 {
+			t.Fatal("clamped event must still attenuate")
+		}
+	}
+}
+
+func TestAWGNSNRConsistency(t *testing.T) {
+	// End-to-end consistency: signal at power P with NoiseFor(P, snr)
+	// measures back the requested SNR via spectral estimation.
+	f := func(snrDBRaw uint8) bool {
+		snrDB := float64(snrDBRaw%20) + 5
+		rng := rand.New(rand.NewSource(int64(snrDBRaw)))
+		fs := 1e6
+		n := 8192
+		x := dsp.Tone(fs*64/float64(n), fs, n, 0)
+		snr := math.Pow(10, snrDB/10)
+		AWGN(rng, x, NoiseFor(1, snr))
+		got := 10 * math.Log10(dsp.SNREstimate(x, 2))
+		return math.Abs(got-snrDB) < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

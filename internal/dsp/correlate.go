@@ -1,0 +1,125 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// CrossCorrelate returns the full linear cross-correlation of x with the
+// reference ref:
+//
+//	r[k] = sum_n x[n+k] * conj(ref[n]),  k = 0 .. len(x)-len(ref)
+//
+// (valid lags only: the reference fully overlaps x). It returns nil when
+// ref is longer than x or either is empty. Uses FFT fast correlation when
+// the work is large enough to pay for it.
+func CrossCorrelate(x, ref []complex128) []complex128 {
+	n, m := len(x), len(ref)
+	if m == 0 || n < m {
+		return nil
+	}
+	lags := n - m + 1
+	// Direct method for small problems.
+	if n*m <= 1<<14 {
+		out := make([]complex128, lags)
+		for k := 0; k < lags; k++ {
+			var acc complex128
+			for i := 0; i < m; i++ {
+				acc += x[k+i] * cmplx.Conj(ref[i])
+			}
+			out[k] = acc
+		}
+		return out
+	}
+	// FFT method: correlation is convolution with the conjugate-reversed
+	// reference.
+	size := NextPow2(n + m - 1)
+	fx := make([]complex128, size)
+	fr := make([]complex128, size)
+	copy(fx, x)
+	for i := 0; i < m; i++ {
+		fr[i] = cmplx.Conj(ref[m-1-i])
+	}
+	radix2(fx, false)
+	radix2(fr, false)
+	for i := range fx {
+		fx[i] *= fr[i]
+	}
+	radix2(fx, true)
+	scale := complex(1/float64(size), 0)
+	out := make([]complex128, lags)
+	for k := 0; k < lags; k++ {
+		out[k] = fx[k+m-1] * scale
+	}
+	return out
+}
+
+// PeakIndex returns the index of the maximum-magnitude sample and that
+// magnitude. It returns (-1, 0) for empty input.
+func PeakIndex(x []complex128) (int, float64) {
+	best, bestMag := -1, 0.0
+	for i, v := range x {
+		m := cmplxAbs(v)
+		if m > bestMag || best == -1 {
+			best, bestMag = i, m
+		}
+	}
+	return best, bestMag
+}
+
+// NormalizedPeak returns the correlation peak magnitude normalized by the
+// energies of the two sequences (1.0 = perfect match). Used as a preamble
+// detection statistic.
+func NormalizedPeak(x, ref []complex128) (lag int, score float64) {
+	r := CrossCorrelate(x, ref)
+	if r == nil {
+		return -1, 0
+	}
+	refE := Energy(ref)
+	if refE == 0 {
+		return -1, 0
+	}
+	best, bestScore := -1, 0.0
+	for k, v := range r {
+		segE := Energy(x[k : k+len(ref)])
+		if segE == 0 {
+			continue
+		}
+		s := cmplxAbs(v) / math.Sqrt(segE*refE)
+		if s > bestScore {
+			best, bestScore = k, s
+		}
+	}
+	return best, bestScore
+}
+
+// Goertzel computes the DFT of x at a single normalized frequency
+// fNorm (cycles/sample) using the Goertzel recurrence — the standard
+// low-cost single-bin detector for tone presence tests.
+func Goertzel(x []complex128, fNorm float64) complex128 {
+	w := 2 * math.Pi * fNorm
+	coeff := 2 * math.Cos(w)
+	var s1re, s2re, s1im, s2im float64
+	for _, v := range x {
+		s0re := real(v) + coeff*s1re - s2re
+		s0im := imag(v) + coeff*s1im - s2im
+		s2re, s1re = s1re, s0re
+		s2im, s1im = s1im, s0im
+	}
+	// X(f) = e^{jw} * s1 - s2 (exact for integer bins f = k/N).
+	c, s := math.Cos(w), math.Sin(w)
+	re := c*s1re - s*s1im - s2re
+	im := c*s1im + s*s1re - s2im
+	return complex(re, im)
+}
+
+// GoertzelPower returns |Goertzel(x, fNorm)|^2 normalized by block length
+// squared, i.e. the power of a unit tone at fNorm measures ~1.
+func GoertzelPower(x []complex128, fNorm float64) float64 {
+	g := Goertzel(x, fNorm)
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	return (real(g)*real(g) + imag(g)*imag(g)) / (n * n)
+}

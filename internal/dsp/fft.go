@@ -1,0 +1,190 @@
+// Package dsp implements the complex-baseband digital signal processing
+// substrate for the mmTag simulator: FFTs of arbitrary length, window
+// functions, FIR filter design and application, numerically controlled
+// oscillators and mixing, correlation, resampling, and spectral
+// estimation.
+//
+// Signals are []complex128 sample slices at an implicit sample rate that
+// callers carry alongside. All transforms are deterministic and
+// allocation patterns are documented on each function.
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Power-of-two lengths use an iterative radix-2
+// decimation-in-time transform; other lengths use Bluestein's algorithm.
+// FFT of an empty slice returns an empty slice.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, scaled by 1/N
+// so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, true)
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// fftInPlace computes an unscaled forward (inverse=false) or inverse
+// (inverse=true, still unscaled) DFT of x in place.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is an iterative Cooley-Tukey FFT for power-of-two lengths.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	logN := bits.TrailingZeros(uint(n))
+
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Precompute the twiddle increment as a rotation to avoid a
+		// sincos per butterfly; accumulate with periodic resync for
+		// numerical stability.
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			rot := cmplx.Exp(complex(0, step))
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= rot
+				if k&63 == 63 {
+					// Resynchronize the accumulated twiddle.
+					w = cmplx.Exp(complex(0, step*float64(k+1)))
+				}
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length via the chirp-z transform,
+// using a power-of-two convolution length >= 2n-1.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// w[k] = exp(sign * i * pi * k^2 / n)
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n avoids precision loss for large k.
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
+	}
+
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		bk := cmplx.Conj(w[k])
+		b[k] = bk
+		if k > 0 {
+			b[m-k] = bk
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * w[k]
+	}
+}
+
+// FFTReal transforms a real-valued signal, returning the full complex
+// spectrum of length len(x).
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlace(c, false)
+	return c
+}
+
+// FFTShift rotates a spectrum so the zero-frequency bin is centred,
+// matching the conventional plot order. It returns a new slice.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// FFTFreqs returns the frequency (Hz) of each FFT bin for an N-point
+// transform at the given sample rate, in natural (unshifted) bin order:
+// bins [0, N/2) are non-negative, bins [N/2, N) are negative.
+func FFTFreqs(n int, sampleRate float64) []float64 {
+	f := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k := i
+		if i >= (n+1)/2 {
+			k = i - n
+		}
+		f[i] = float64(k) * sampleRate / float64(n)
+	}
+	return f
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

@@ -1,0 +1,268 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with real taps, applicable to
+// complex signals. The zero value is unusable; construct with a design
+// function or NewFIR.
+type FIR struct {
+	taps []float64
+	// state holds the last len(taps)-1 input samples for streaming use.
+	state []complex128
+}
+
+// NewFIR wraps an explicit tap vector. It copies taps.
+func NewFIR(taps []float64) *FIR {
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t, state: make([]complex128, maxInt(len(taps)-1, 0))}
+}
+
+// Taps returns a copy of the filter's tap vector.
+func (f *FIR) Taps() []float64 {
+	t := make([]float64, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.taps) }
+
+// GroupDelay returns the filter's group delay in samples (linear-phase
+// symmetric designs only).
+func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }
+
+// Reset clears the streaming state.
+func (f *FIR) Reset() {
+	for i := range f.state {
+		f.state[i] = 0
+	}
+}
+
+// Filter convolves x with the taps, returning len(x) output samples
+// (the "same" convolution mode, zero initial state). Streaming state is
+// not used or modified.
+func (f *FIR) Filter(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for n := range x {
+		var acc complex128
+		for k, t := range f.taps {
+			if idx := n - k; idx >= 0 {
+				acc += complex(t, 0) * x[idx]
+			}
+		}
+		out[n] = acc
+	}
+	return out
+}
+
+// Process filters a streaming block, carrying state across calls so that
+// concatenated blocks produce the same output as one long Filter call.
+func (f *FIR) Process(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	ns := len(f.state)
+	for n := range x {
+		var acc complex128
+		for k, t := range f.taps {
+			idx := n - k
+			var s complex128
+			if idx >= 0 {
+				s = x[idx]
+			} else if ns+idx >= 0 {
+				s = f.state[ns+idx]
+			}
+			acc += complex(t, 0) * s
+		}
+		out[n] = acc
+	}
+	// Save the trailing samples as the next call's history.
+	if ns > 0 {
+		if len(x) >= ns {
+			copy(f.state, x[len(x)-ns:])
+		} else {
+			copy(f.state, f.state[len(x):])
+			copy(f.state[ns-len(x):], x)
+		}
+	}
+	return out
+}
+
+// FrequencyResponse evaluates the filter's complex frequency response at
+// the normalized frequency fNorm in cycles/sample (range [-0.5, 0.5]).
+func (f *FIR) FrequencyResponse(fNorm float64) complex128 {
+	var re, im float64
+	for k, t := range f.taps {
+		phi := -2 * math.Pi * fNorm * float64(k)
+		re += t * math.Cos(phi)
+		im += t * math.Sin(phi)
+	}
+	return complex(re, im)
+}
+
+// DesignLowpass designs a windowed-sinc lowpass FIR with the given cutoff
+// (Hz), sample rate (Hz), tap count, and window. Taps must be odd and
+// positive for a symmetric linear-phase design. The passband gain is
+// normalized to exactly 1 at DC.
+func DesignLowpass(cutoffHz, sampleRate float64, taps int, w Window) (*FIR, error) {
+	if taps < 1 || taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: lowpass taps must be odd and positive, got %d", taps)
+	}
+	if cutoffHz <= 0 || cutoffHz >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: cutoff %g Hz outside (0, %g)", cutoffHz, sampleRate/2)
+	}
+	fc := cutoffHz / sampleRate // normalized cutoff, cycles/sample
+	mid := (taps - 1) / 2
+	h := make([]float64, taps)
+	win := w.Coefficients(taps)
+	for i := 0; i < taps; i++ {
+		m := float64(i - mid)
+		var s float64
+		if m == 0 {
+			s = 2 * fc
+		} else {
+			s = math.Sin(2*math.Pi*fc*m) / (math.Pi * m)
+		}
+		h[i] = s * win[i]
+	}
+	// Normalize DC gain to 1.
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	for i := range h {
+		h[i] /= sum
+	}
+	return NewFIR(h), nil
+}
+
+// DesignHighpass designs a windowed-sinc highpass FIR via spectral
+// inversion of the matching lowpass. Gain at Nyquist is normalized to 1.
+func DesignHighpass(cutoffHz, sampleRate float64, taps int, w Window) (*FIR, error) {
+	lp, err := DesignLowpass(cutoffHz, sampleRate, taps, w)
+	if err != nil {
+		return nil, err
+	}
+	h := lp.Taps()
+	mid := (taps - 1) / 2
+	for i := range h {
+		h[i] = -h[i]
+	}
+	h[mid] += 1
+	// Normalize gain at Nyquist (alternating-sign sum) to 1.
+	sum := 0.0
+	for i, v := range h {
+		if i%2 == 0 {
+			sum += v
+		} else {
+			sum -= v
+		}
+	}
+	if math.Abs(sum) > 1e-12 {
+		for i := range h {
+			h[i] /= sum
+		}
+	}
+	return NewFIR(h), nil
+}
+
+// DesignBandpass designs a windowed-sinc bandpass FIR between lowHz and
+// highHz by subtracting two lowpasses, normalized to unit gain at the
+// band centre.
+func DesignBandpass(lowHz, highHz, sampleRate float64, taps int, w Window) (*FIR, error) {
+	if lowHz >= highHz {
+		return nil, fmt.Errorf("dsp: bandpass requires low < high, got %g >= %g", lowHz, highHz)
+	}
+	hi, err := DesignLowpass(highHz, sampleRate, taps, w)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := DesignLowpass(lowHz, sampleRate, taps, w)
+	if err != nil {
+		return nil, err
+	}
+	hh, hl := hi.Taps(), lo.Taps()
+	h := make([]float64, taps)
+	for i := range h {
+		h[i] = hh[i] - hl[i]
+	}
+	f := NewFIR(h)
+	// Normalize to unit magnitude at the geometric band centre.
+	centre := math.Sqrt(lowHz*highHz) / sampleRate
+	g := cmplxAbs(f.FrequencyResponse(centre))
+	if g > 1e-12 {
+		for i := range f.taps {
+			f.taps[i] /= g
+		}
+	}
+	return f, nil
+}
+
+// MovingAverage returns an n-tap moving-average (boxcar) filter with unit
+// DC gain. It panics for n < 1.
+func MovingAverage(n int) *FIR {
+	if n < 1 {
+		panic("dsp: moving average length must be >= 1")
+	}
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = 1 / float64(n)
+	}
+	return NewFIR(h)
+}
+
+// DCBlocker is a single-pole IIR DC-removal filter:
+//
+//	y[n] = x[n] - x[n-1] + r*y[n-1]
+//
+// with r close to 1. It is the canonical low-cost structure an AP uses to
+// strip the DC term produced by self-interference after downconversion.
+type DCBlocker struct {
+	r      float64
+	xPrev  complex128
+	yPrev  complex128
+	primed bool
+}
+
+// NewDCBlocker returns a DC blocker with pole radius r in (0, 1).
+func NewDCBlocker(r float64) (*DCBlocker, error) {
+	if r <= 0 || r >= 1 {
+		return nil, fmt.Errorf("dsp: DC blocker pole radius %g outside (0,1)", r)
+	}
+	return &DCBlocker{r: r}, nil
+}
+
+// Process filters a block in streaming fashion, carrying state across
+// calls. It allocates the output slice.
+func (d *DCBlocker) Process(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		if !d.primed {
+			// Initialize history to the first sample so a constant
+			// input settles to zero output without a start-up step.
+			d.xPrev = v
+			d.primed = true
+		}
+		y := v - d.xPrev + complex(d.r, 0)*d.yPrev
+		d.xPrev = v
+		d.yPrev = y
+		out[i] = y
+	}
+	return out
+}
+
+// Reset clears the blocker's state.
+func (d *DCBlocker) Reset() {
+	d.xPrev, d.yPrev, d.primed = 0, 0, false
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

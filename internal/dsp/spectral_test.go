@@ -1,0 +1,121 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPeriodogramParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x := randSignal(rng, 256)
+	p := Periodogram(x, Rectangular)
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-Power(x)) > 1e-9*Power(x) {
+		t.Fatalf("periodogram sum %g, want power %g", sum, Power(x))
+	}
+	if Periodogram(nil, Hann) != nil {
+		t.Fatal("empty periodogram must be nil")
+	}
+}
+
+func TestPeriodogramTonePeak(t *testing.T) {
+	n := 512
+	k := 37
+	x := Tone(float64(k)/float64(n), 1, n, 0)
+	p := Periodogram(x, Hann)
+	best, bestV := 0, 0.0
+	for i, v := range p {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if best != k {
+		t.Fatalf("peak at bin %d, want %d", best, k)
+	}
+}
+
+func TestWelchReducesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// White noise: Welch average should be much flatter than a single
+	// periodogram.
+	x := randSignal(rng, 8192)
+	single := Periodogram(x[:256], Rectangular)
+	welch := Welch(x, 256, Rectangular)
+	varOf := func(p []float64) float64 {
+		mean, v := 0.0, 0.0
+		for _, e := range p {
+			mean += e
+		}
+		mean /= float64(len(p))
+		for _, e := range p {
+			v += (e - mean) * (e - mean)
+		}
+		return v / float64(len(p)) / (mean * mean) // normalized variance
+	}
+	if varOf(welch) > varOf(single)/4 {
+		t.Fatalf("Welch variance %g not much below single %g", varOf(welch), varOf(single))
+	}
+}
+
+func TestWelchEdgeCases(t *testing.T) {
+	if Welch(make([]complex128, 10), 16, Hann) != nil {
+		t.Fatal("short input must return nil")
+	}
+	if Welch(make([]complex128, 10), 1, Hann) != nil {
+		t.Fatal("segLen < 2 must return nil")
+	}
+}
+
+func TestDominantFrequencySubBin(t *testing.T) {
+	fs := 1e6
+	n := 1024
+	// An off-bin frequency: interpolation should get within a tenth of a
+	// bin (bin width ~977 Hz).
+	f := 123_456.0
+	x := Tone(f, fs, n, 0)
+	got := DominantFrequency(x, fs)
+	if math.Abs(got-f) > 200 {
+		t.Fatalf("dominant frequency %g, want %g", got, f)
+	}
+	// Negative frequencies work too.
+	x = Tone(-200e3, fs, n, 0)
+	got = DominantFrequency(x, fs)
+	if math.Abs(got+200e3) > 200 {
+		t.Fatalf("negative dominant frequency %g, want -200 kHz", got)
+	}
+	if DominantFrequency(nil, fs) != 0 {
+		t.Fatal("empty input must return 0")
+	}
+}
+
+func TestSNREstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	fs := 1e6
+	n := 4096
+	// An on-bin tone so the signal energy is confined to the peak
+	// neighbourhood (SNREstimate uses a rectangular window).
+	toneHz := 400 * fs / float64(n)
+	for _, wantDB := range []float64{0, 10, 20} {
+		sig := Tone(toneHz, fs, n, 0)
+		noise := randSignal(rng, n)
+		// Noise power per complex sample is 2 (unit variance per part).
+		np := math.Pow(10, -wantDB/10) * 1 / 2
+		Scale(noise, math.Sqrt(np))
+		Add(sig, noise)
+		got := 10 * math.Log10(SNREstimate(sig, 2))
+		if math.Abs(got-wantDB) > 1.5 {
+			t.Fatalf("SNR estimate %g dB, want %g dB", got, wantDB)
+		}
+	}
+	// Pure tone: effectively infinite or huge SNR.
+	if snr := SNREstimate(Tone(100.0/1024, 1, 1024, 0), 2); snr < 1e6 {
+		t.Fatalf("pure-tone SNR %g too small", snr)
+	}
+	if SNREstimate(nil, 1) != 0 {
+		t.Fatal("empty SNR must be 0")
+	}
+}

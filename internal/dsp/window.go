@@ -1,0 +1,105 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window function.
+type Window int
+
+// Supported windows.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+	BlackmanHarris
+)
+
+// String returns the window's conventional name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	case BlackmanHarris:
+		return "blackman-harris"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients for w using the symmetric
+// (filter-design) convention. n <= 0 returns nil; n == 1 returns [1].
+func (w Window) Coefficients(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := make([]float64, n)
+	if n == 1 {
+		c[0] = 1
+		return c
+	}
+	den := float64(n - 1)
+	for i := 0; i < n; i++ {
+		x := float64(i) / den
+		switch w {
+		case Rectangular:
+			c[i] = 1
+		case Hann:
+			c[i] = 0.5 - 0.5*math.Cos(2*math.Pi*x)
+		case Hamming:
+			c[i] = 0.54 - 0.46*math.Cos(2*math.Pi*x)
+		case Blackman:
+			c[i] = 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+		case BlackmanHarris:
+			c[i] = 0.35875 - 0.48829*math.Cos(2*math.Pi*x) +
+				0.14128*math.Cos(4*math.Pi*x) - 0.01168*math.Cos(6*math.Pi*x)
+		default:
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// Apply multiplies x by the window coefficients in place and returns x.
+// It panics if len(x) != len(coeffs); mismatched lengths indicate a
+// programming error.
+func ApplyWindow(x []complex128, coeffs []float64) []complex128 {
+	if len(x) != len(coeffs) {
+		panic("dsp: window length mismatch")
+	}
+	for i := range x {
+		x[i] *= complex(coeffs[i], 0)
+	}
+	return x
+}
+
+// CoherentGain returns the window's coherent gain (mean coefficient),
+// used to correct amplitude estimates taken from windowed spectra.
+func CoherentGain(coeffs []float64) float64 {
+	if len(coeffs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range coeffs {
+		s += c
+	}
+	return s / float64(len(coeffs))
+}
+
+// NoiseBandwidth returns the window's equivalent noise bandwidth in bins.
+func NoiseBandwidth(coeffs []float64) float64 {
+	if len(coeffs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, c := range coeffs {
+		sum += c
+		sumSq += c * c
+	}
+	return float64(len(coeffs)) * sumSq / (sum * sum)
+}

@@ -1,0 +1,97 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowShapes(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman, BlackmanHarris} {
+		t.Run(w.String(), func(t *testing.T) {
+			n := 65
+			c := w.Coefficients(n)
+			if len(c) != n {
+				t.Fatalf("length %d", len(c))
+			}
+			// Symmetric.
+			for i := 0; i < n/2; i++ {
+				if math.Abs(c[i]-c[n-1-i]) > 1e-12 {
+					t.Fatalf("asymmetric at %d: %g vs %g", i, c[i], c[n-1-i])
+				}
+			}
+			// Peak at centre, coefficients within [0, 1+eps].
+			mid := c[n/2]
+			for i, v := range c {
+				if v > mid+1e-12 {
+					t.Fatalf("coefficient %d (%g) exceeds centre (%g)", i, v, mid)
+				}
+				if v < -1e-12 || v > 1+1e-12 {
+					t.Fatalf("coefficient %d out of range: %g", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestWindowEndpoints(t *testing.T) {
+	// Hann ends at exactly zero; Hamming at 0.08.
+	h := Hann.Coefficients(33)
+	if math.Abs(h[0]) > 1e-12 || math.Abs(h[32]) > 1e-12 {
+		t.Fatal("Hann endpoints must be zero")
+	}
+	hm := Hamming.Coefficients(33)
+	if math.Abs(hm[0]-0.08) > 1e-9 {
+		t.Fatalf("Hamming endpoint %g, want 0.08", hm[0])
+	}
+}
+
+func TestWindowDegenerate(t *testing.T) {
+	if Hann.Coefficients(0) != nil {
+		t.Fatal("n=0 must return nil")
+	}
+	c := Hann.Coefficients(1)
+	if len(c) != 1 || c[0] != 1 {
+		t.Fatalf("n=1 got %v", c)
+	}
+}
+
+func TestCoherentGain(t *testing.T) {
+	// Rectangular: 1. Hann: 0.5 asymptotically.
+	if g := CoherentGain(Rectangular.Coefficients(100)); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("rect coherent gain %g", g)
+	}
+	if g := CoherentGain(Hann.Coefficients(10001)); math.Abs(g-0.5) > 1e-3 {
+		t.Fatalf("hann coherent gain %g, want ~0.5", g)
+	}
+	if CoherentGain(nil) != 0 {
+		t.Fatal("empty gain must be 0")
+	}
+}
+
+func TestNoiseBandwidth(t *testing.T) {
+	// Rectangular ENBW = 1 bin; Hann = 1.5 bins.
+	if b := NoiseBandwidth(Rectangular.Coefficients(64)); math.Abs(b-1) > 1e-12 {
+		t.Fatalf("rect ENBW %g", b)
+	}
+	if b := NoiseBandwidth(Hann.Coefficients(4097)); math.Abs(b-1.5) > 1e-3 {
+		t.Fatalf("hann ENBW %g, want 1.5", b)
+	}
+	if NoiseBandwidth(nil) != 0 {
+		t.Fatal("empty ENBW must be 0")
+	}
+}
+
+func TestApplyWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	ApplyWindow(make([]complex128, 3), make([]float64, 4))
+}
+
+func TestWindowStringUnknown(t *testing.T) {
+	if Window(99).String() != "unknown" {
+		t.Fatal("unknown window name")
+	}
+}

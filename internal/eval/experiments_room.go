@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"mmtag/internal/channel"
+	"mmtag/internal/geom"
+	"mmtag/internal/rfmath"
+)
+
+// E18RoomClutter derives the AP's cancellation requirement from room
+// geometry: first-order wall echoes (image-source model, plus TX-RX
+// leakage at 30 dB isolation) set the static interference the reader
+// must suppress so the mid-room tag echo clears the ADC's quantization
+// floor with a 10 dB margin. The wall right behind the AP dominates the
+// static floor in every room, while the tag echo weakens with room
+// size — so bigger rooms *raise* the cancellation requirement.
+func E18RoomClutter(tb *Testbed) (*Table, error) {
+	tb = tb.orDefault()
+	t := &Table{
+		ID:    "E18",
+		Title: "Cancellation requirement vs room geometry (tag at mid-room)",
+		Header: []string{"room", "clutter_dBm", "echo_dBm", "c_over_e_dB",
+			"cancel_adc8_dB", "cancel_adc12_dB"},
+		Notes: []string{"AP against the west wall; includes 30 dB TX-RX isolation leakage; 10 dB decode margin"},
+	}
+	arr, err := tb.tagArray(0)
+	if err != nil {
+		return nil, err
+	}
+	apGain := rfmath.FromDB(tb.APGainDBi)
+	rooms := []struct{ w, h float64 }{
+		{4, 3}, {6, 4}, {10, 6}, {20, 12},
+	}
+	for _, rm := range rooms {
+		room, err := geom.Rectangle(rm.w, rm.h, 2)
+		if err != nil {
+			return nil, err
+		}
+		apPos := geom.Point{X: 0.3, Y: rm.h / 2}
+		var clutterW float64
+		const wallReflLossDB = 3
+		for _, e := range room.MonostaticEchoes(apPos) {
+			clutterW += channel.WallEchoPowerW(tb.TxPowerW, apGain, tb.FreqHz,
+				e.DistanceM, wallReflLossDB)
+		}
+		// TX-RX leakage at baseline isolation joins the static floor.
+		clutterW += channel.SelfInterferencePowerW(tb.TxPowerW, 30)
+
+		tagDist := geom.Dist(apPos, geom.Point{X: rm.w / 2, Y: rm.h / 2})
+		echoW, err := tb.link(arr, tagDist, 0, 1).ReceivedPowerW()
+		if err != nil {
+			return nil, err
+		}
+		cOverE := rfmath.DB(clutterW / echoW)
+		need := func(adcBits float64) float64 {
+			const marginDB = 10
+			dr := 6.02 * adcBits
+			n := cOverE - (dr - marginDB)
+			return math.Max(0, n)
+		}
+		t.AddRow(fmt.Sprintf("%gx%g m", rm.w, rm.h),
+			rfmath.DBm(clutterW), rfmath.DBm(echoW), cOverE, need(8), need(12))
+	}
+	return t, nil
+}

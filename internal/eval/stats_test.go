@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %g", s.Std)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("empty summary must be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 || one.P90 != 7 {
+		t.Fatalf("single summary %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Fatalf("p0 %g", p)
+	}
+	if p := Percentile(xs, 100); p != 40 {
+		t.Fatalf("p100 %g", p)
+	}
+	if p := Percentile(xs, 50); math.Abs(p-25) > 1e-12 {
+		t.Fatalf("p50 %g", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Percentile never leaves [min, max] and is monotone in p.
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				return true
+			}
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(raw, pa), Percentile(raw, pb)
+		sorted := append([]float64{}, raw...)
+		sort.Float64s(sorted)
+		return va <= vb+1e-9 && va >= sorted[0]-1e-9 && vb <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatal("length")
+	}
+	if pts[0].Value != 1 || pts[2].Value != 3 {
+		t.Fatal("ordering")
+	}
+	if pts[2].Prob != 1 || math.Abs(pts[0].Prob-1.0/3) > 1e-12 {
+		t.Fatalf("probs %+v", pts)
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow(1.5, "x,y")
+	tab.AddRow(0.000012, 7)
+	text := tab.Render()
+	if !strings.Contains(text, "== T: demo ==") || !strings.Contains(text, "note: a note") {
+		t.Fatalf("render:\n%s", text)
+	}
+	if !strings.Contains(text, "1.5") {
+		t.Fatal("float formatting")
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("csv quoting:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatal("csv header")
+	}
+	// Tiny floats switch to scientific notation.
+	if !strings.Contains(csv, "e-05") {
+		t.Fatalf("scientific formatting missing:\n%s", csv)
+	}
+}
+
+func TestTableColumn(t *testing.T) {
+	tab := &Table{Header: []string{"x", "y"}}
+	tab.AddRow(1, 2)
+	tab.AddRow(3, 4)
+	col := tab.Column("y")
+	if len(col) != 2 || col[0] != "2" || col[1] != "4" {
+		t.Fatalf("column %v", col)
+	}
+	if tab.Column("zzz") != nil {
+		t.Fatal("missing column must be nil")
+	}
+}

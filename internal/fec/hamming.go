@@ -1,0 +1,56 @@
+package fec
+
+import "fmt"
+
+// Hamming(7,4): encodes 4 data bits into 7, correcting any single bit
+// error per codeword. Used for the frame header, which must survive
+// without the latency of the convolutional decoder.
+//
+// Codeword layout (1-indexed positions): p1 p2 d1 p3 d2 d3 d4, with
+// parity bits at the power-of-two positions.
+
+// HammingEncode expands data bits (0/1 values, length divisible by 4)
+// into 7-bit codewords, appending to dst.
+func HammingEncode(dst, data []byte) ([]byte, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("fec: hamming data length must be a multiple of 4, got %d", len(data))
+	}
+	for i := 0; i < len(data); i += 4 {
+		d1, d2, d3, d4 := data[i]&1, data[i+1]&1, data[i+2]&1, data[i+3]&1
+		p1 := d1 ^ d2 ^ d4
+		p2 := d1 ^ d3 ^ d4
+		p3 := d2 ^ d3 ^ d4
+		dst = append(dst, p1, p2, d1, p3, d2, d3, d4)
+	}
+	return dst, nil
+}
+
+// HammingDecode corrects and extracts data bits from 7-bit codewords
+// (length divisible by 7), appending the 4 data bits per codeword to
+// dst. It returns the number of corrected single-bit errors. Double-bit
+// errors are miscorrected — that is inherent to the code, and the outer
+// CRC catches them.
+func HammingDecode(dst, code []byte) ([]byte, int, error) {
+	if len(code)%7 != 0 {
+		return nil, 0, fmt.Errorf("fec: hamming code length must be a multiple of 7, got %d", len(code))
+	}
+	corrected := 0
+	for i := 0; i < len(code); i += 7 {
+		var w [7]byte
+		for j := 0; j < 7; j++ {
+			w[j] = code[i+j] & 1
+		}
+		// Syndrome: which parity checks fail. s = position of the error
+		// (1-indexed), 0 if clean.
+		s1 := w[0] ^ w[2] ^ w[4] ^ w[6]
+		s2 := w[1] ^ w[2] ^ w[5] ^ w[6]
+		s3 := w[3] ^ w[4] ^ w[5] ^ w[6]
+		s := int(s1) | int(s2)<<1 | int(s3)<<2
+		if s != 0 {
+			w[s-1] ^= 1
+			corrected++
+		}
+		dst = append(dst, w[2], w[4], w[5], w[6])
+	}
+	return dst, corrected, nil
+}

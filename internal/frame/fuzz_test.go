@@ -1,0 +1,104 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnGarbage feeds arbitrary bit soup to the
+// decoder: it must always return an error or a well-formed frame, never
+// panic or over-read.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, coded := range []bool{false, true} {
+		opts := Options{Coded: coded}
+		for trial := 0; trial < 500; trial++ {
+			n := rng.Intn(4000)
+			bits := make([]byte, n)
+			for i := range bits {
+				bits[i] = byte(rng.Intn(2))
+			}
+			f, consumed, err := DecodeBits(bits, opts)
+			if err != nil {
+				continue
+			}
+			// A successful decode must be internally consistent.
+			if consumed <= 0 || consumed > len(bits) {
+				t.Fatalf("consumed %d of %d", consumed, len(bits))
+			}
+			if len(f.Payload) > MaxPayload {
+				t.Fatalf("payload %d exceeds max", len(f.Payload))
+			}
+		}
+	}
+}
+
+// TestDecodeNeverPanicsProperty is the quick-check variant over random
+// byte-derived bit streams.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte, coded bool) bool {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		_, consumed, err := DecodeBits(bits, Options{Coded: coded})
+		return err != nil || (consumed > 0 && consumed <= len(bits))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionNeverYieldsWrongPayload flips random bursts in valid
+// frames: the decoder may fail, or (rarely, when FEC fixes everything)
+// succeed — but a "successful" decode must return the original payload
+// or be flagged by the CRC. An undetected wrong payload is the one
+// unacceptable outcome.
+func TestCorruptionNeverYieldsWrongPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		coded := trial%2 == 0
+		opts := Options{Coded: coded}
+		payload := make([]byte, 32+rng.Intn(64))
+		rng.Read(payload)
+		f := &Frame{Type: TypeData, TagID: 9, Payload: payload}
+		bits, err := f.EncodeBits(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random burst: position and length.
+		start := rng.Intn(len(bits))
+		length := 1 + rng.Intn(32)
+		for i := start; i < start+length && i < len(bits); i++ {
+			bits[i] ^= 1
+		}
+		got, _, err := DecodeBits(bits, opts)
+		if err != nil {
+			continue // detected: fine
+		}
+		if got.TagID == 9 && !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("trial %d (coded=%v): undetected payload corruption", trial, coded)
+		}
+	}
+}
+
+// TestHeaderLengthFieldAbuse builds a frame whose header length field
+// is corrupted to a larger value: the decoder must not read past the
+// provided bits.
+func TestHeaderLengthFieldAbuse(t *testing.T) {
+	f := &Frame{Type: TypeData, TagID: 1, Payload: []byte{1, 2, 3}}
+	bits, _ := f.EncodeBits(Options{})
+	// Flip multiple header bits to scramble the length field (Hamming
+	// corrects one per block; hit several blocks).
+	for _, pos := range []int{31, 38, 45, 52} {
+		bits[pos] ^= 1
+	}
+	// Whatever the decoder concludes, it must not panic and must bound
+	// its reads by len(bits).
+	_, consumed, err := DecodeBits(bits, Options{})
+	if err == nil && consumed > len(bits) {
+		t.Fatal("decoder over-read")
+	}
+}

@@ -1,0 +1,164 @@
+// Package iq defines a small binary container for complex baseband
+// captures — the record/replay format the tooling uses to save
+// synthesized uplink waveforms and feed them back through the AP
+// demodulator, the workflow an SDR-based deployment would use with real
+// recordings.
+//
+// Layout (little endian):
+//
+//	magic   [4]byte  "MMIQ"
+//	version uint16   (currently 1)
+//	flags   uint16   (reserved, zero)
+//	sampleRateHz float64
+//	centerFreqHz float64
+//	metaLen uint32
+//	meta    [metaLen]byte (UTF-8, free-form)
+//	count   uint64   number of complex samples
+//	samples count × (float32 I, float32 Q)
+package iq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic identifies capture files.
+var Magic = [4]byte{'M', 'M', 'I', 'Q'}
+
+// Version is the current container version.
+const Version uint16 = 1
+
+// maxMetaLen bounds metadata so corrupt headers cannot trigger huge
+// allocations.
+const maxMetaLen = 1 << 20
+
+// Header describes a capture.
+type Header struct {
+	SampleRateHz float64
+	CenterFreqHz float64
+	Meta         string
+}
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("iq: bad magic (not an MMIQ capture)")
+	ErrBadVersion = errors.New("iq: unsupported container version")
+	ErrTruncated  = errors.New("iq: truncated capture")
+)
+
+// Write serializes a complete capture.
+func Write(w io.Writer, h Header, samples []complex128) error {
+	if h.SampleRateHz <= 0 {
+		return fmt.Errorf("iq: sample rate must be positive, got %g", h.SampleRateHz)
+	}
+	if len(h.Meta) > maxMetaLen {
+		return fmt.Errorf("iq: metadata too large (%d bytes)", len(h.Meta))
+	}
+	if _, err := w.Write(Magic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var scalars [2 + 2 + 8 + 8 + 4]byte
+	le.PutUint16(scalars[0:], Version)
+	le.PutUint16(scalars[2:], 0) // flags
+	le.PutUint64(scalars[4:], math.Float64bits(h.SampleRateHz))
+	le.PutUint64(scalars[12:], math.Float64bits(h.CenterFreqHz))
+	le.PutUint32(scalars[20:], uint32(len(h.Meta)))
+	if _, err := w.Write(scalars[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, h.Meta); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	le.PutUint64(cnt[:], uint64(len(samples)))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(samples); {
+		n := len(samples) - off
+		if n > 4096 {
+			n = 4096
+		}
+		for i := 0; i < n; i++ {
+			s := samples[off+i]
+			le.PutUint32(buf[i*8:], math.Float32bits(float32(real(s))))
+			le.PutUint32(buf[i*8+4:], math.Float32bits(float32(imag(s))))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Read parses a complete capture.
+func Read(r io.Reader) (Header, []complex128, error) {
+	var h Header
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return h, nil, wrapTrunc(err)
+	}
+	if magic != Magic {
+		return h, nil, ErrBadMagic
+	}
+	le := binary.LittleEndian
+	var scalars [24]byte
+	if _, err := io.ReadFull(r, scalars[:]); err != nil {
+		return h, nil, wrapTrunc(err)
+	}
+	if v := le.Uint16(scalars[0:]); v != Version {
+		return h, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	h.SampleRateHz = math.Float64frombits(le.Uint64(scalars[4:]))
+	h.CenterFreqHz = math.Float64frombits(le.Uint64(scalars[12:]))
+	metaLen := le.Uint32(scalars[20:])
+	if metaLen > maxMetaLen {
+		return h, nil, fmt.Errorf("iq: metadata length %d exceeds limit", metaLen)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, meta); err != nil {
+		return h, nil, wrapTrunc(err)
+	}
+	h.Meta = string(meta)
+	var cnt [8]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return h, nil, wrapTrunc(err)
+	}
+	count := le.Uint64(cnt[:])
+	const maxSamples = 1 << 28 // 256M samples = 2 GiB; sanity bound
+	if count > maxSamples {
+		return h, nil, fmt.Errorf("iq: sample count %d exceeds limit", count)
+	}
+	samples := make([]complex128, 0, count)
+	buf := make([]byte, 8*4096)
+	remaining := int(count)
+	for remaining > 0 {
+		n := remaining
+		if n > 4096 {
+			n = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return h, nil, wrapTrunc(err)
+		}
+		for i := 0; i < n; i++ {
+			re := math.Float32frombits(le.Uint32(buf[i*8:]))
+			im := math.Float32frombits(le.Uint32(buf[i*8+4:]))
+			samples = append(samples, complex(float64(re), float64(im)))
+		}
+		remaining -= n
+	}
+	return h, samples, nil
+}
+
+func wrapTrunc(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrTruncated
+	}
+	return err
+}

@@ -1,0 +1,163 @@
+package iq
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]complex128, 10000)
+	for i := range samples {
+		samples[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	h := Header{SampleRateHz: 80e6, CenterFreqHz: 24e9, Meta: `{"mod":"ook"}`}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header %+v, want %+v", got, h)
+	}
+	if len(out) != len(samples) {
+		t.Fatalf("count %d, want %d", len(out), len(samples))
+	}
+	// float32 storage: round-trip within float32 precision.
+	for i := range samples {
+		if math.Abs(real(out[i])-real(samples[i])) > 1e-6 ||
+			math.Abs(imag(out[i])-imag(samples[i])) > 1e-6 {
+			t.Fatalf("sample %d: %v vs %v", i, out[i], samples[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, meta string) bool {
+		if len(meta) > 1000 {
+			meta = meta[:1000]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 5000
+		samples := make([]complex128, n)
+		for i := range samples {
+			samples[i] = complex(rng.Float64(), -rng.Float64())
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, Header{SampleRateHz: 1e6, Meta: meta}, samples); err != nil {
+			return false
+		}
+		h, out, err := Read(&buf)
+		return err == nil && h.Meta == meta && len(out) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{SampleRateHz: 1e6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := Read(&buf)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty capture: %v, %d samples", err, len(out))
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{SampleRateHz: 0}, nil); err == nil {
+		t.Fatal("zero sample rate must error")
+	}
+	big := make([]byte, maxMetaLen+1)
+	if err := Write(&buf, Header{SampleRateHz: 1, Meta: string(big)}, nil); err == nil {
+		t.Fatal("oversized metadata must error")
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("NOPE----------------------------"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, Header{SampleRateHz: 1e6}, nil)
+	raw := buf.Bytes()
+	raw[4] = 0xFF // clobber version
+	if _, _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	samples := make([]complex128, 100)
+	Write(&buf, Header{SampleRateHz: 1e6, Meta: "m"}, samples)
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 3, 10, 20, 30, len(raw) - 5} {
+		if _, _, err := Read(bytes.NewReader(raw[:cut])); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestReadAbsurdCounts(t *testing.T) {
+	// Corrupt the sample count to something enormous: must error, not
+	// allocate.
+	var buf bytes.Buffer
+	Write(&buf, Header{SampleRateHz: 1e6}, nil)
+	raw := buf.Bytes()
+	// count is the last 8 bytes for an empty capture with empty meta.
+	for i := len(raw) - 8; i < len(raw); i++ {
+		raw[i] = 0xFF
+	}
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("absurd count must error")
+	}
+	// Corrupt the metadata length similarly.
+	var buf2 bytes.Buffer
+	Write(&buf2, Header{SampleRateHz: 1e6}, nil)
+	raw2 := buf2.Bytes()
+	// metaLen lives at bytes 24-27 (after the 4-byte magic + 20 scalar
+	// bytes).
+	raw2[24], raw2[25], raw2[26], raw2[27] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := Read(bytes.NewReader(raw2)); err == nil {
+		t.Fatal("absurd metadata length must error")
+	}
+}
+
+func BenchmarkWrite64k(b *testing.B) {
+	samples := make([]complex128, 65536)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, Header{SampleRateHz: 80e6}, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead64k(b *testing.B) {
+	samples := make([]complex128, 65536)
+	var buf bytes.Buffer
+	Write(&buf, Header{SampleRateHz: 80e6}, samples)
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

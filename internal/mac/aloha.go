@@ -1,0 +1,113 @@
+package mac
+
+// Framed slotted-ALOHA inventory with optional Q-style window
+// adaptation — the ablation baseline for the discovery experiments. The
+// fixed-window Discover() in station.go mirrors it with a constant
+// contention window; this variant resizes the frame from the observed
+// collision/empty mix, the way EPC Gen2 readers do.
+
+// AlohaConfig parameterizes an inventory round.
+type AlohaConfig struct {
+	// InitialSlots is the first frame's window size (8 if zero).
+	InitialSlots int
+	// MinSlots and MaxSlots bound adaptation (1 and 256 if zero).
+	MinSlots, MaxSlots int
+	// Adaptive doubles the window when collisions dominate and halves
+	// it when empties dominate; when false the window stays fixed.
+	Adaptive bool
+	// MaxRounds bounds the rounds spent per beam (32 if zero).
+	MaxRounds int
+}
+
+func (c AlohaConfig) withDefaults() AlohaConfig {
+	if c.InitialSlots == 0 {
+		c.InitialSlots = 8
+	}
+	if c.MinSlots == 0 {
+		c.MinSlots = 1
+	}
+	if c.MaxSlots == 0 {
+		c.MaxSlots = 256
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 32
+	}
+	return c
+}
+
+// AlohaResult summarizes an inventory.
+type AlohaResult struct {
+	Found      int
+	Rounds     int
+	SlotsUsed  int
+	Collisions int
+	EmptySlots int
+}
+
+// DiscoverAloha sweeps the beam codebook running framed slotted ALOHA
+// in each beam until no unknown tag responds (or the round budget runs
+// out). Found tags are added to the station's known set with beam
+// refinement, exactly like Discover.
+func (s *Station) DiscoverAloha(cfg AlohaConfig) AlohaResult {
+	cfg = cfg.withDefaults()
+	var res AlohaResult
+	for _, beam := range s.cfg.Beams {
+		window := cfg.InitialSlots
+		for round := 0; round < cfg.MaxRounds; round++ {
+			s.Stats.ProbesSent++
+			res.Rounds++
+			// Unknown audible tags whose response survives the link.
+			var responders []uint8
+			var snrs []float64
+			for _, id := range s.medium.Tags() {
+				if _, ok := s.known[id]; ok {
+					continue
+				}
+				snr, audible := s.medium.SNR(id, beam, s.cfg.ProbeRate)
+				if !audible {
+					continue
+				}
+				if s.rng.Float64() < s.cfg.ProbeRate.FramePER(snr, s.probeAirBits()) {
+					continue
+				}
+				responders = append(responders, id)
+				snrs = append(snrs, snr)
+			}
+			if len(responders) == 0 {
+				break
+			}
+			slots := make(map[int][]int)
+			for i := range responders {
+				slot := s.rng.Intn(window)
+				slots[slot] = append(slots[slot], i)
+			}
+			res.SlotsUsed += window
+			s.Stats.DiscoverySlots += window
+			collisions, singles := 0, 0
+			for _, idxs := range slots {
+				if len(idxs) > 1 {
+					collisions++
+					res.Collisions += len(idxs)
+					s.Stats.Collisions += len(idxs)
+					continue
+				}
+				singles++
+				i := idxs[0]
+				rec := &TagRecord{ID: responders[i], BeamRad: beam, SNR: snrs[i]}
+				s.refineBeam(rec)
+				s.known[responders[i]] = rec
+				res.Found++
+			}
+			res.EmptySlots += window - collisions - singles
+			if cfg.Adaptive {
+				empties := window - collisions - singles
+				if collisions > empties && window < cfg.MaxSlots {
+					window *= 2
+				} else if empties > collisions && window > cfg.MinSlots {
+					window /= 2
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,93 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func denseMedium(n int) *fakeMedium {
+	m := &fakeMedium{tags: map[uint8]fakeTag{}}
+	for id := 1; id <= n; id++ {
+		m.tags[uint8(id)] = fakeTag{angle: 0, snrDB: 25, audible: true}
+	}
+	return m
+}
+
+func TestDiscoverAlohaFindsAll(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		m := denseMedium(20)
+		st, err := NewStation(StationConfig{Beams: []float64{0}}, m, rand.New(rand.NewSource(8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := st.DiscoverAloha(AlohaConfig{Adaptive: adaptive})
+		if res.Found != 20 {
+			t.Fatalf("adaptive=%v: found %d of 20", adaptive, res.Found)
+		}
+		if len(st.Known()) != 20 {
+			t.Fatal("known set mismatch")
+		}
+		if res.Rounds == 0 || res.SlotsUsed == 0 {
+			t.Fatal("no work recorded")
+		}
+	}
+}
+
+func TestDiscoverAlohaAdaptiveBeatsUndersizedWindow(t *testing.T) {
+	// 40 tags against a 2-slot fixed window collide forever; the
+	// adaptive variant grows the window and finishes in fewer slots.
+	runSlots := func(adaptive bool) (int, int) {
+		m := denseMedium(40)
+		st, _ := NewStation(StationConfig{Beams: []float64{0}}, m, rand.New(rand.NewSource(9)))
+		res := st.DiscoverAloha(AlohaConfig{
+			InitialSlots: 2,
+			Adaptive:     adaptive,
+			MaxRounds:    200,
+		})
+		return res.Found, res.SlotsUsed
+	}
+	fixedFound, fixedSlots := runSlots(false)
+	adaptFound, adaptSlots := runSlots(true)
+	if adaptFound != 40 {
+		t.Fatalf("adaptive found %d of 40", adaptFound)
+	}
+	// Either the fixed window failed to finish, or it burned more slots.
+	if fixedFound == 40 && fixedSlots <= adaptSlots {
+		t.Fatalf("fixed window (%d slots) unexpectedly beat adaptive (%d slots)",
+			fixedSlots, adaptSlots)
+	}
+}
+
+func TestDiscoverAlohaSkipsKnownTags(t *testing.T) {
+	m := denseMedium(5)
+	st, _ := NewStation(StationConfig{Beams: []float64{0}}, m, rand.New(rand.NewSource(10)))
+	first := st.DiscoverAloha(AlohaConfig{})
+	if first.Found != 5 {
+		t.Fatalf("first pass found %d", first.Found)
+	}
+	second := st.DiscoverAloha(AlohaConfig{})
+	if second.Found != 0 {
+		t.Fatalf("second pass found %d, want 0", second.Found)
+	}
+	// A silent population ends each beam after one probe round.
+	if second.Rounds != 1 {
+		t.Fatalf("idle rounds %d, want 1", second.Rounds)
+	}
+}
+
+func TestDiscoverAlohaRespectsAudibility(t *testing.T) {
+	m := denseMedium(3)
+	m.tags[9] = fakeTag{angle: 0, snrDB: 25, audible: false}
+	st, _ := NewStation(StationConfig{Beams: []float64{0}}, m, rand.New(rand.NewSource(11)))
+	res := st.DiscoverAloha(AlohaConfig{})
+	if res.Found != 3 {
+		t.Fatalf("found %d, want 3 (tag 9 is deaf)", res.Found)
+	}
+}
+
+func TestAlohaDefaults(t *testing.T) {
+	c := AlohaConfig{}.withDefaults()
+	if c.InitialSlots != 8 || c.MinSlots != 1 || c.MaxSlots != 256 || c.MaxRounds != 32 {
+		t.Fatalf("defaults %+v", c)
+	}
+}

@@ -1,0 +1,315 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mmtag/internal/frame"
+)
+
+// Medium is the MAC's view of the radio: it answers link-quality
+// questions for a tag under a given AP beam. The packet-level simulator
+// implements it from the full link budget.
+type Medium interface {
+	// SNR returns the uplink SNR (linear, measured in the symbol-rate
+	// noise bandwidth) for the tag when the AP steers beamRad and the
+	// tag uses the given rate, and whether the tag can hear the query
+	// at all (envelope-detector sensitivity).
+	SNR(tagID uint8, beamRad float64, r Rate) (snr float64, audible bool)
+	// Tags returns the IDs of every tag that exists in the environment
+	// (the MAC does not get their positions — it must discover them).
+	Tags() []uint8
+}
+
+// StationConfig parameterizes the AP-side MAC.
+type StationConfig struct {
+	// Beams is the discovery codebook (radians).
+	Beams []float64
+	// RateTable is the adaptation ladder; DefaultRateTable if nil.
+	RateTable []Rate
+	// TargetPER is the adaptation target (0.01 default).
+	TargetPER float64
+	// ProbeRate is the robust rate used for discovery probes; the
+	// lowest-goodput table entry if zero-valued.
+	ProbeRate Rate
+	// ContentionSlots is the slotted-ALOHA window size per discovery
+	// round (8 default).
+	ContentionSlots int
+	// DiscoveryRounds bounds repeated contention rounds per beam (4
+	// default).
+	DiscoveryRounds int
+	// MaxRetries is the ARQ retransmission budget per frame (3 when
+	// zero; negative disables retransmissions entirely).
+	MaxRetries int
+	// PollPayloadBytes is the uplink payload each poll solicits (64
+	// default).
+	PollPayloadBytes int
+}
+
+func (c StationConfig) withDefaults() StationConfig {
+	if c.RateTable == nil {
+		c.RateTable = DefaultRateTable()
+	}
+	if c.TargetPER == 0 {
+		c.TargetPER = 0.01
+	}
+	if c.ProbeRate.BitRate == 0 {
+		best := 0
+		for i, r := range c.RateTable {
+			if r.Goodput() < c.RateTable[best].Goodput() {
+				best = i
+			}
+		}
+		c.ProbeRate = c.RateTable[best]
+	}
+	if c.ContentionSlots == 0 {
+		c.ContentionSlots = 8
+	}
+	if c.DiscoveryRounds == 0 {
+		c.DiscoveryRounds = 4
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.PollPayloadBytes == 0 {
+		c.PollPayloadBytes = 64
+	}
+	return c
+}
+
+// ProbeRateOrDefault returns the configured probe rate after default
+// resolution, for callers that need to account probe air time.
+func (c StationConfig) ProbeRateOrDefault() Rate { return c.withDefaults().ProbeRate }
+
+// TagRecord is the station's knowledge of one discovered tag.
+type TagRecord struct {
+	ID      uint8
+	BeamRad float64 // beam under which the tag was found
+	SNR     float64 // linear SNR measured at discovery (probe rate)
+}
+
+// Station is the AP-side MAC entity.
+type Station struct {
+	cfg    StationConfig
+	medium Medium
+	rng    *rand.Rand
+	known  map[uint8]*TagRecord
+
+	// Stats accumulates counters across operations.
+	Stats Stats
+}
+
+// Stats counts MAC-level events.
+type Stats struct {
+	ProbesSent      int
+	DiscoverySlots  int
+	Collisions      int
+	FramesDelivered int
+	FramesLost      int
+	Retransmissions int
+	BitsDelivered   int64
+	AirTimeSeconds  float64
+}
+
+// NewStation builds a station over a medium. The rng drives contention
+// and packet-error draws, keeping runs reproducible.
+func NewStation(cfg StationConfig, medium Medium, rng *rand.Rand) (*Station, error) {
+	if medium == nil {
+		return nil, fmt.Errorf("mac: medium is required")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mac: rng is required")
+	}
+	cfg = cfg.withDefaults()
+	if len(cfg.Beams) == 0 {
+		return nil, fmt.Errorf("mac: at least one discovery beam is required")
+	}
+	return &Station{
+		cfg:    cfg,
+		medium: medium,
+		rng:    rng,
+		known:  make(map[uint8]*TagRecord),
+	}, nil
+}
+
+// Known returns the discovered tags sorted by ID.
+func (s *Station) Known() []TagRecord {
+	out := make([]TagRecord, 0, len(s.known))
+	for _, r := range s.known {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Forget clears the discovery state.
+func (s *Station) Forget() { s.known = make(map[uint8]*TagRecord) }
+
+// probeAirBits is the discovery probe response size (a TypeProbe frame
+// with a 4-byte payload).
+func (s *Station) probeAirBits() int {
+	return frame.AirBits(4, frame.Options{Coded: s.cfg.ProbeRate.Coded})
+}
+
+// Discover sweeps the beam codebook, running slotted contention in each
+// beam, and returns the number of newly found tags. Tags already known
+// stay silent (the probe carries the known-ID list, as in RFID Q-style
+// inventories).
+func (s *Station) Discover() int {
+	found := 0
+	for _, beam := range s.cfg.Beams {
+		for round := 0; round < s.cfg.DiscoveryRounds; round++ {
+			s.Stats.ProbesSent++
+			// Which unknown tags hear this probe and would respond?
+			var responders []uint8
+			var snrs []float64
+			for _, id := range s.medium.Tags() {
+				if _, ok := s.known[id]; ok {
+					continue
+				}
+				snr, audible := s.medium.SNR(id, beam, s.cfg.ProbeRate)
+				if !audible {
+					continue
+				}
+				// The response itself must survive the link.
+				per := s.cfg.ProbeRate.FramePER(snr, s.probeAirBits())
+				if s.rng.Float64() < per {
+					continue
+				}
+				responders = append(responders, id)
+				snrs = append(snrs, snr)
+			}
+			if len(responders) == 0 {
+				break // nothing new in this beam
+			}
+			// Slotted ALOHA: each responder picks a slot; collisions lose.
+			slots := make(map[int][]int) // slot -> responder indices
+			for i := range responders {
+				slot := s.rng.Intn(s.cfg.ContentionSlots)
+				slots[slot] = append(slots[slot], i)
+			}
+			s.Stats.DiscoverySlots += s.cfg.ContentionSlots
+			for _, idxs := range slots {
+				if len(idxs) > 1 {
+					s.Stats.Collisions += len(idxs)
+					continue
+				}
+				i := idxs[0]
+				rec := &TagRecord{ID: responders[i], BeamRad: beam, SNR: snrs[i]}
+				s.refineBeam(rec)
+				s.known[responders[i]] = rec
+				found++
+			}
+		}
+	}
+	return found
+}
+
+// refineBeam performs the post-discovery beam refinement every mmWave
+// link does: scan the codebook for the beam with the highest probe-rate
+// SNR toward the tag. Without it, a tag first heard through a sidelobe
+// would be polled on that sidelobe forever.
+func (s *Station) refineBeam(rec *TagRecord) {
+	for _, beam := range s.cfg.Beams {
+		snr, audible := s.medium.SNR(rec.ID, beam, s.cfg.ProbeRate)
+		if audible && snr > rec.SNR {
+			rec.SNR = snr
+			rec.BeamRad = beam
+		}
+	}
+}
+
+// Refine re-evaluates the best beam for a known tag from scratch — the
+// beam-tracking step a mobile tag needs. Unknown IDs are ignored; a tag
+// that is currently inaudible everywhere keeps its previous beam.
+func (s *Station) Refine(id uint8) {
+	rec, ok := s.known[id]
+	if !ok {
+		return
+	}
+	rec.SNR = 0
+	s.refineBeam(rec)
+}
+
+// PollResult reports one tag poll.
+type PollResult struct {
+	TagID     uint8
+	Rate      Rate
+	Attempts  int
+	Delivered bool
+	Bits      int
+	AirTime   float64
+}
+
+// Poll solicits one uplink frame from a known tag with link adaptation
+// and stop-and-wait ARQ. The air time accounts every attempt.
+func (s *Station) Poll(id uint8) (PollResult, error) {
+	rec, ok := s.known[id]
+	if !ok {
+		return PollResult{}, fmt.Errorf("mac: tag %d not discovered", id)
+	}
+	airBits := frame.AirBits(s.cfg.PollPayloadBytes, frame.Options{})
+	rate, err := PickRate(s.cfg.RateTable, s.cfg.TargetPER, airBits, func(r Rate) float64 {
+		snr, audible := s.medium.SNR(id, rec.BeamRad, r)
+		if !audible {
+			return 0
+		}
+		return snr
+	})
+	if err != nil {
+		return PollResult{}, err
+	}
+	res := PollResult{TagID: id, Rate: rate}
+	airBits = frame.AirBits(s.cfg.PollPayloadBytes, frame.Options{Coded: rate.Coded})
+	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
+		res.Attempts++
+		res.AirTime += float64(airBits) / rate.BitRate
+		snr, audible := s.medium.SNR(id, rec.BeamRad, rate)
+		if audible {
+			per := rate.FramePER(snr, airBits)
+			if s.rng.Float64() >= per {
+				res.Delivered = true
+				res.Bits = s.cfg.PollPayloadBytes * 8
+				break
+			}
+		}
+		if attempt < s.cfg.MaxRetries {
+			s.Stats.Retransmissions++
+		}
+	}
+	if res.Delivered {
+		s.Stats.FramesDelivered++
+		s.Stats.BitsDelivered += int64(res.Bits)
+	} else {
+		s.Stats.FramesLost++
+	}
+	s.Stats.AirTimeSeconds += res.AirTime
+	return res, nil
+}
+
+// PollCycle polls every known tag once in ID order (TDMA round) and
+// returns the results.
+func (s *Station) PollCycle() []PollResult {
+	tags := s.Known()
+	out := make([]PollResult, 0, len(tags))
+	for _, rec := range tags {
+		res, err := s.Poll(rec.ID)
+		if err != nil {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Goodput returns delivered information bits per second of air time
+// accumulated so far.
+func (s *Station) Goodput() float64 {
+	if s.Stats.AirTimeSeconds == 0 {
+		return 0
+	}
+	return float64(s.Stats.BitsDelivered) / s.Stats.AirTimeSeconds
+}

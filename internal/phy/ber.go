@@ -1,0 +1,100 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BitErrors counts positions where a and b differ. Slices must have equal
+// length.
+func BitErrors(a, b []byte) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("phy: bit slice length mismatch (%d vs %d)", len(a), len(b))
+	}
+	n := 0
+	for i := range a {
+		if (a[i] != 0) != (b[i] != 0) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// RandomBits fills a new slice of n pseudo-random bits from rng.
+func RandomBits(rng *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+// BERResult summarizes a Monte-Carlo bit-error measurement.
+type BERResult struct {
+	Bits   int
+	Errors int
+}
+
+// Rate returns the measured bit error rate.
+func (r BERResult) Rate() float64 {
+	if r.Bits == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Bits)
+}
+
+// MeasureBER runs a symbol-level AWGN Monte-Carlo for a constellation at
+// the given linear Eb/N0, transmitting nBits bits. This is the reference
+// measurement the waveform-level chain is validated against (experiment
+// E3).
+//
+// The noise power per symbol is Es/N0^-1-scaled: N0 = Es / (Eb/N0 * bits)
+// split across I and Q.
+func MeasureBER(c *Constellation, ebn0 float64, nBits int, rng *rand.Rand) (BERResult, error) {
+	if ebn0 <= 0 {
+		return BERResult{}, fmt.Errorf("phy: Eb/N0 must be positive, got %g", ebn0)
+	}
+	if nBits <= 0 {
+		return BERResult{}, fmt.Errorf("phy: bit count must be positive, got %d", nBits)
+	}
+	bits := RandomBits(rng, nBits)
+	symbols := c.MapBits(nil, bits)
+	tx := c.Modulate(nil, symbols)
+
+	es := c.MeanPower()
+	n0 := es / (ebn0 * float64(c.BitsPerSymbol()))
+	sigma := math.Sqrt(n0 / 2)
+
+	rxSym := make([]int, 0, len(symbols))
+	for _, p := range tx {
+		r := p + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		rxSym = append(rxSym, c.Nearest(r))
+	}
+	rxBits := c.UnmapBits(nil, rxSym)
+	// Compare only the original bits (mapping may have padded).
+	errs, err := BitErrors(bits, rxBits[:len(bits)])
+	if err != nil {
+		return BERResult{}, err
+	}
+	return BERResult{Bits: nBits, Errors: errs}, nil
+}
+
+// MeasureSER runs a symbol-error Monte-Carlo at linear Es/N0.
+func MeasureSER(c *Constellation, esn0 float64, nSymbols int, rng *rand.Rand) (float64, error) {
+	if esn0 <= 0 || nSymbols <= 0 {
+		return 0, fmt.Errorf("phy: invalid SER parameters")
+	}
+	es := c.MeanPower()
+	n0 := es / esn0
+	sigma := math.Sqrt(n0 / 2)
+	errs := 0
+	for i := 0; i < nSymbols; i++ {
+		s := rng.Intn(c.Size())
+		r := c.Point(s) + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		if c.Nearest(r) != s {
+			errs++
+		}
+	}
+	return float64(errs) / float64(nSymbols), nil
+}

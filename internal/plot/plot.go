@@ -1,0 +1,121 @@
+// Package plot renders simple ASCII line/scatter charts for experiment
+// sweeps, so the benchmark CLI can show figure shapes in a terminal
+// without any graphics dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config sets the canvas geometry.
+type Config struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10(y); non-positive values are dropped.
+	LogY bool
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series onto an ASCII canvas with axes and a legend.
+// It returns an error when no drawable points exist.
+func Render(cfg Config, series ...Series) (string, error) {
+	w, h := cfg.Width, cfg.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	for si, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q length mismatch (%d vs %d)", s.Name, len(s.X), len(s.Y))
+		}
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, pt{s.X[i], y, m})
+		}
+	}
+	if len(pts) == 0 {
+		return "", fmt.Errorf("plot: no drawable points")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+		minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(w-1))
+		row := h - 1 - int((p.y-minY)/(maxY-minY)*float64(h-1))
+		grid[row][col] = p.m
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yTop, yBot := maxY, minY
+	suffix := ""
+	if cfg.LogY {
+		suffix = " (log10)"
+	}
+	for r := 0; r < h; r++ {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", yTop)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%9.3g ", yBot)
+		} else if r == h/2 {
+			label = fmt.Sprintf("%9.3g ", (yTop+yBot)/2)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s%-*.3g%*.3g\n", strings.Repeat(" ", 11), w/2, minX, w-w/2, maxX)
+	if cfg.XLabel != "" || cfg.YLabel != "" || cfg.LogY {
+		fmt.Fprintf(&b, "x: %s   y: %s%s\n", cfg.XLabel, cfg.YLabel, suffix)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}

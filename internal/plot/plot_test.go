@@ -1,0 +1,83 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out, err := Render(Config{Title: "demo", Width: 40, Height: 10, XLabel: "d", YLabel: "snr"},
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "* a") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "x: d   y: snr") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// Must contain at least one marker in the grid.
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	out, err := Render(Config{},
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o b") || !strings.Contains(out, "* a") {
+		t.Fatalf("legend markers:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("second marker not drawn")
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	out, err := Render(Config{LogY: true},
+		Series{Name: "ber", X: []float64{1, 2, 3}, Y: []float64{1e-1, 1e-3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(log10)") {
+		t.Fatal("log marker missing")
+	}
+	// The zero point is dropped, others plotted.
+	if strings.Count(out, "*") < 2 {
+		t.Fatalf("points dropped:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Config{}, Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Render(Config{}); err == nil {
+		t.Fatal("no points must error")
+	}
+	if _, err := Render(Config{LogY: true}, Series{X: []float64{1}, Y: []float64{-1}}); err == nil {
+		t.Fatal("all points dropped must error")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// A single point (zero x and y span) must not divide by zero.
+	out, err := Render(Config{}, Series{Name: "p", X: []float64{5}, Y: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not drawn")
+	}
+	// NaN points are skipped.
+	out, err = Render(Config{}, Series{X: []float64{1, math.NaN()}, Y: []float64{1, 1}})
+	if err != nil || !strings.Contains(out, "*") {
+		t.Fatalf("NaN handling: %v", err)
+	}
+}

@@ -1,0 +1,317 @@
+package rfmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 200) // keep within float range
+		back := DB(FromDB(db))
+		return math.Abs(back-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	approx(t, DB(2), 3.0103, 1e-3, "DB(2)")
+	approx(t, DB(10), 10, 1e-12, "DB(10)")
+	approx(t, DB(1), 0, 1e-12, "DB(1)")
+	approx(t, FromDB(3), 1.9953, 1e-3, "FromDB(3)")
+	if !math.IsInf(DB(0), -1) {
+		t.Fatalf("DB(0) = %v, want -Inf", DB(0))
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	approx(t, DBm(1), 30, 1e-12, "1 W = 30 dBm")
+	approx(t, DBm(0.001), 0, 1e-12, "1 mW = 0 dBm")
+	approx(t, FromDBm(20), 0.1, 1e-12, "20 dBm = 100 mW")
+	approx(t, FromDBm(-30), 1e-6, 1e-15, "-30 dBm = 1 uW")
+}
+
+func TestVoltDB(t *testing.T) {
+	approx(t, VoltDB(10), 20, 1e-12, "voltage ratio 10 = 20 dB")
+	approx(t, FromVoltDB(6), 1.9953, 1e-3, "6 dB voltage")
+}
+
+func TestWavelength(t *testing.T) {
+	// 24 GHz -> 12.49 mm
+	approx(t, Wavelength(24e9), 0.012491, 1e-6, "24 GHz wavelength")
+	// 1 GHz -> ~0.3 m
+	approx(t, Wavelength(1e9), 0.29979, 1e-4, "1 GHz wavelength")
+}
+
+func TestThermalNoise(t *testing.T) {
+	// kT at 290K is -174 dBm/Hz.
+	approx(t, DBm(ThermalNoisePower(RoomTemperatureK, 1)), -173.98, 0.02, "kT 1 Hz")
+	// 1 MHz bandwidth -> -114 dBm.
+	approx(t, NoiseFloorDBm(1e6, 0), -113.98, 0.02, "1 MHz floor")
+	// Noise figure adds directly.
+	approx(t, NoiseFloorDBm(1e6, 5), -108.98, 0.02, "1 MHz floor + 5 dB NF")
+}
+
+func TestCascadeNoiseFigure(t *testing.T) {
+	// Classic example: LNA (G=20 dB, NF=2 dB) followed by a lossy mixer
+	// (G=-7 dB, NF=7 dB): total NF barely above the LNA's.
+	nf, err := CascadeNoiseFigure([]Stage{
+		{Name: "lna", GainDB: 20, NFigure: 2},
+		{Name: "mixer", GainDB: -7, NFigure: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf < 2 || nf > 2.3 {
+		t.Fatalf("cascade NF = %v, want within (2, 2.3)", nf)
+	}
+
+	// Single stage: NF is the stage's NF.
+	nf, err = CascadeNoiseFigure([]Stage{{GainDB: 10, NFigure: 3.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, nf, 3.5, 1e-9, "single-stage NF")
+
+	if _, err := CascadeNoiseFigure(nil); err == nil {
+		t.Fatal("expected error for empty cascade")
+	}
+}
+
+func TestCascadeOrderMatters(t *testing.T) {
+	lna := Stage{GainDB: 20, NFigure: 2}
+	atten := Stage{GainDB: -10, NFigure: 10}
+	nfGood, _ := CascadeNoiseFigure([]Stage{lna, atten})
+	nfBad, _ := CascadeNoiseFigure([]Stage{atten, lna})
+	if nfGood >= nfBad {
+		t.Fatalf("LNA-first NF %v should beat attenuator-first NF %v", nfGood, nfBad)
+	}
+}
+
+func TestFSPL(t *testing.T) {
+	// At 24 GHz, 1 m: 20log10(4*pi*1/0.01249) ~= 60.05 dB.
+	approx(t, FSPLdB(1, 24e9), 60.05, 0.1, "FSPL 1 m @ 24 GHz")
+	// Doubling distance adds 6.02 dB.
+	approx(t, FSPLdB(2, 24e9)-FSPLdB(1, 24e9), 6.0206, 1e-3, "FSPL distance doubling")
+	// Doubling frequency adds 6.02 dB.
+	approx(t, FSPLdB(1, 48e9)-FSPLdB(1, 24e9), 6.0206, 1e-3, "FSPL frequency doubling")
+}
+
+func TestFSPLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive distance")
+		}
+	}()
+	FSPL(0, 24e9)
+}
+
+func TestFriisReceivedPower(t *testing.T) {
+	// Symmetric check against the dB budget.
+	pt := FromDBm(20)
+	gt, gr := FromDB(20), FromDB(10)
+	pr := FriisReceivedPower(pt, gt, gr, 3, 24e9)
+	wantDBm := 20 + 20 + 10 - FSPLdB(3, 24e9)
+	approx(t, DBm(pr), wantDBm, 1e-9, "Friis vs dB budget")
+}
+
+func TestBackscatterReceivedPower(t *testing.T) {
+	pt := FromDBm(20)
+	ap := FromDB(20)
+	tag := FromDB(15)
+	pr := BackscatterReceivedPower(pt, ap, tag, 1, 2, 24e9)
+	wantDBm := 20 + 2*20 + 2*15 - 2*FSPLdB(2, 24e9)
+	approx(t, DBm(pr), wantDBm, 1e-9, "backscatter vs dB budget")
+
+	// Backscatter power falls with the fourth power of distance: doubling
+	// the distance costs 12.04 dB.
+	pr2 := BackscatterReceivedPower(pt, ap, tag, 1, 4, 24e9)
+	approx(t, DBm(pr)-DBm(pr2), 12.0412, 1e-3, "40 dB/decade slope")
+
+	// Efficiency scales linearly.
+	prHalf := BackscatterReceivedPower(pt, ap, tag, 0.5, 2, 24e9)
+	approx(t, prHalf/pr, 0.5, 1e-12, "eta scaling")
+}
+
+func TestRadarEquationConsistency(t *testing.T) {
+	// A retro-reflector with gain G has RCS = G^2 * lambda^2 / (4 pi) when
+	// eta = 1; the radar equation and the backscatter formula must agree.
+	freq := 24e9
+	lambda := Wavelength(freq)
+	tagGain := FromDB(15)
+	rcs := tagGain * tagGain * lambda * lambda / (4 * math.Pi)
+	pt, apG, d := FromDBm(20), FromDB(20), 3.0
+	prRadar := RadarEquation(pt, apG, rcs, d, freq)
+	prBack := BackscatterReceivedPower(pt, apG, tagGain, 1, d, freq)
+	approx(t, DB(prRadar/prBack), 0, 1e-9, "radar eq vs backscatter eq")
+}
+
+func TestApertureRoundTrip(t *testing.T) {
+	f := func(gainDB float64) bool {
+		g := FromDB(math.Mod(math.Abs(gainDB), 40))
+		a := EffectiveAperture(g, 24e9)
+		back := ApertureGain(a, 1, 24e9)
+		return math.Abs(DB(back/g)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtmosphericLoss(t *testing.T) {
+	// Clear air at 24 GHz: a fraction of a dB/km.
+	a24 := AtmosphericLossDBPerKm(24e9, 0)
+	if a24 < 0.05 || a24 > 1 {
+		t.Fatalf("24 GHz clear-air loss %g dB/km", a24)
+	}
+	// The 60 GHz oxygen resonance dominates everything nearby.
+	a60 := AtmosphericLossDBPerKm(60e9, 0)
+	if a60 < 10 || a60 > 20 {
+		t.Fatalf("60 GHz loss %g dB/km, want ~15", a60)
+	}
+	if a60 < 5*AtmosphericLossDBPerKm(38e9, 0) {
+		t.Fatal("60 GHz must dwarf 38 GHz")
+	}
+	// Rain adds monotonically.
+	r0 := AtmosphericLossDBPerKm(24e9, 0)
+	r10 := AtmosphericLossDBPerKm(24e9, 10)
+	r50 := AtmosphericLossDBPerKm(24e9, 50)
+	if !(r0 < r10 && r10 < r50) {
+		t.Fatalf("rain ordering: %g, %g, %g", r0, r10, r50)
+	}
+	// Heavy rain at 24 GHz is in the handful-of-dB/km class.
+	if r50 < 1 || r50 > 20 {
+		t.Fatalf("50 mm/h rain loss %g dB/km", r50)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative rain")
+		}
+	}()
+	AtmosphericLossDBPerKm(24e9, -1)
+}
+
+func TestQFunction(t *testing.T) {
+	approx(t, Q(0), 0.5, 1e-12, "Q(0)")
+	approx(t, Q(1), 0.15866, 1e-4, "Q(1)")
+	approx(t, Q(3), 0.00135, 1e-5, "Q(3)")
+	// Symmetry Q(-x) = 1 - Q(x).
+	approx(t, Q(-1.7)+Q(1.7), 1, 1e-12, "Q symmetry")
+}
+
+func TestQInv(t *testing.T) {
+	for _, p := range []float64{0.4, 0.15866, 1e-3, 1e-6, 1e-9} {
+		x := QInv(p)
+		approx(t, Q(x), p, p*1e-6+1e-15, "Q(QInv(p))")
+	}
+}
+
+func TestQInvPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p out of range")
+		}
+	}()
+	QInv(1.5)
+}
+
+func TestBERKnownPoints(t *testing.T) {
+	// BPSK at Eb/N0 = 9.6 dB gives BER ~1e-5.
+	ber := BERBPSK(FromDB(9.6))
+	if ber < 5e-6 || ber > 2e-5 {
+		t.Fatalf("BPSK BER at 9.6 dB = %v, want ~1e-5", ber)
+	}
+	// QPSK per-bit equals BPSK.
+	approx(t, BERQPSK(2.5), BERBPSK(2.5), 1e-15, "QPSK == BPSK per bit")
+	// OOK needs 3 dB more than BPSK for the same BER.
+	approx(t, BEROOK(2*2.5), BERBPSK(2.5), 1e-12, "OOK 3 dB penalty")
+	// 4-QAM equals QPSK.
+	approx(t, BERMQAM(4, 3), BERQPSK(3), 1e-12, "4-QAM == QPSK")
+}
+
+func TestBEROrdering(t *testing.T) {
+	// For a fixed Eb/N0, higher-order modulations are strictly worse.
+	for _, ebn0DB := range []float64{4, 8, 12} {
+		e := FromDB(ebn0DB)
+		b2 := BERBPSK(e)
+		b16 := BERMQAM(16, e)
+		b64 := BERMQAM(64, e)
+		if !(b2 < b16 && b16 < b64) {
+			t.Fatalf("at %v dB: BPSK %v, 16QAM %v, 64QAM %v not ordered", ebn0DB, b2, b16, b64)
+		}
+	}
+}
+
+func TestBERMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 20))
+		y := math.Abs(math.Mod(b, 20))
+		if x > y {
+			x, y = y, x
+		}
+		if y-x < 1e-9 {
+			return true
+		}
+		return BERBPSK(FromDB(y)) <= BERBPSK(FromDB(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBERMPSK(t *testing.T) {
+	// 8PSK is worse than QPSK at the same Eb/N0.
+	e := FromDB(8)
+	if BERMPSK(8, e) <= BERQPSK(e) {
+		t.Fatal("8PSK should be worse than QPSK")
+	}
+	approx(t, BERMPSK(2, e), BERBPSK(e), 1e-15, "MPSK(2) == BPSK")
+}
+
+func TestPERFromBER(t *testing.T) {
+	approx(t, PERFromBER(0, 1000), 0, 1e-15, "zero BER")
+	approx(t, PERFromBER(1e-3, 1), 1e-3, 1e-12, "single bit")
+	// Small-ber approximation: PER ~= n*ber.
+	approx(t, PERFromBER(1e-9, 1000), 1e-6, 1e-9, "linear regime")
+	// Large n saturates to 1.
+	if p := PERFromBER(0.01, 100000); p < 0.999999 {
+		t.Fatalf("PER should saturate, got %v", p)
+	}
+	if PERFromBER(0.5, 0) != 0 {
+		t.Fatal("zero-length packet must have PER 0")
+	}
+}
+
+func TestEbN0SNRRoundTrip(t *testing.T) {
+	f := func(snrDB float64) bool {
+		snr := FromDB(math.Mod(snrDB, 40))
+		e := EbN0FromSNR(snr, 10e6, 20e6)
+		back := SNRFromEbN0(e, 10e6, 20e6)
+		return math.Abs(DB(back/snr)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShannonCapacity(t *testing.T) {
+	// SNR = 1 -> capacity = B.
+	approx(t, ShannonCapacity(1e6, 1), 1e6, 1e-6, "capacity at 0 dB SNR")
+	// Capacity grows with both B and SNR.
+	if ShannonCapacity(2e6, 1) <= ShannonCapacity(1e6, 1) {
+		t.Fatal("capacity must grow with bandwidth")
+	}
+	if ShannonCapacity(1e6, 10) <= ShannonCapacity(1e6, 1) {
+		t.Fatal("capacity must grow with SNR")
+	}
+}

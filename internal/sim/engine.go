@@ -1,0 +1,86 @@
+// Package sim ties the mmTag pieces into a running network: a
+// discrete-event engine, an environment of placed tags around an access
+// point, a mac.Medium implementation backed by the full link budget, and
+// inventory/streaming scenario runners used by the examples and the
+// evaluation harness.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a minimal discrete-event scheduler. Events fire in time
+// order; ties fire in scheduling order (stable).
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventQueue
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule queues fn to run delay seconds from now. Negative delays are
+// a programming error.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Step runs the next event, returning false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil processes events until the queue empties or the next event
+// would fire after t; the clock then advances to t.
+func (e *Engine) RunUntil(t float64) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mmtag/internal/mac"
+	"mmtag/internal/trace"
+)
+
+// Waypoint anchors a mobile tag's placement at a point in time; the
+// runner interpolates linearly between consecutive waypoints.
+type Waypoint struct {
+	Time           float64 // seconds from run start
+	DistanceM      float64
+	AzimuthRad     float64
+	OrientationRad float64
+}
+
+// BlockageEvent attenuates the tag's link during [Start, End) seconds.
+type BlockageEvent struct {
+	Start, End    float64
+	AttenuationDB float64
+}
+
+// MobileConfig parameterizes a single-tag mobility run.
+type MobileConfig struct {
+	// TagID selects the (already placed) tag that moves.
+	TagID uint8
+	// Trajectory is the waypoint list, sorted by time, at least two
+	// entries spanning the run.
+	Trajectory []Waypoint
+	// Blockage lists shadowing episodes.
+	Blockage []BlockageEvent
+	// StepS is the polling cadence (1 ms if zero).
+	StepS float64
+	// RefineEvery re-runs beam refinement every k steps (10 if zero) —
+	// beam tracking for the moving tag.
+	RefineEvery int
+	// Station tunes the MAC (beams filled from the codebook).
+	Station mac.StationConfig
+	// SectorRad is the codebook sector (±60° if zero).
+	SectorRad float64
+	// Seed drives randomness.
+	Seed int64
+	// Trace, when non-nil, receives rate-change and blockage events.
+	Trace *trace.Recorder
+}
+
+// MobileSample is one time step of a mobility run.
+type MobileSample struct {
+	Time      float64
+	DistanceM float64
+	Blocked   bool
+	Rate      string
+	Delivered bool
+	Attempts  int
+}
+
+// MobileReport summarizes a mobility run.
+type MobileReport struct {
+	Samples     []MobileSample
+	Delivered   int
+	Lost        int
+	BlockedLost int // losses during blockage episodes
+	RateChanges int
+	GoodputBps  float64
+}
+
+// DeliveryRatio returns delivered / (delivered + lost).
+func (r *MobileReport) DeliveryRatio() float64 {
+	total := r.Delivered + r.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(total)
+}
+
+// interpolate returns the placement values at time t.
+func interpolate(tr []Waypoint, t float64) Waypoint {
+	if t <= tr[0].Time {
+		return tr[0]
+	}
+	last := tr[len(tr)-1]
+	if t >= last.Time {
+		return last
+	}
+	i := sort.Search(len(tr), func(i int) bool { return tr[i].Time > t }) - 1
+	a, b := tr[i], tr[i+1]
+	f := (t - a.Time) / (b.Time - a.Time)
+	lerp := func(x, y float64) float64 { return x + f*(y-x) }
+	return Waypoint{
+		Time:           t,
+		DistanceM:      lerp(a.DistanceM, b.DistanceM),
+		AzimuthRad:     lerp(a.AzimuthRad, b.AzimuthRad),
+		OrientationRad: lerp(a.OrientationRad, b.OrientationRad),
+	}
+}
+
+func blockedAt(events []BlockageEvent, t float64) (float64, bool) {
+	for _, e := range events {
+		if t >= e.Start && t < e.End {
+			return e.AttenuationDB, true
+		}
+	}
+	return 0, false
+}
+
+// RunMobile drives one tag along a trajectory, polling at a fixed
+// cadence while beam tracking, and reports per-step outcomes. Blockage
+// episodes add link loss; the Station's ARQ setting determines whether
+// marginal steps are recovered by retransmission.
+func RunMobile(n *Network, cfg MobileConfig) (*MobileReport, error) {
+	if n == nil {
+		return nil, fmt.Errorf("sim: network is required")
+	}
+	p, ok := n.Placement(cfg.TagID)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown tag %d", cfg.TagID)
+	}
+	if len(cfg.Trajectory) < 2 {
+		return nil, fmt.Errorf("sim: trajectory needs at least two waypoints")
+	}
+	for i := 1; i < len(cfg.Trajectory); i++ {
+		if cfg.Trajectory[i].Time <= cfg.Trajectory[i-1].Time {
+			return nil, fmt.Errorf("sim: trajectory times must be strictly increasing")
+		}
+	}
+	step := cfg.StepS
+	if step == 0 {
+		step = 1e-3
+	}
+	refineEvery := cfg.RefineEvery
+	if refineEvery == 0 {
+		refineEvery = 10
+	}
+	sector := cfg.SectorRad
+	if sector == 0 {
+		sector = Deg(60)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stCfg := cfg.Station
+	stCfg.Beams = n.Codebook(sector)
+	station, err := mac.NewStation(stCfg, n, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial placement and discovery.
+	start := interpolate(cfg.Trajectory, cfg.Trajectory[0].Time)
+	p.DistanceM, p.AzimuthRad, p.OrientationRad = start.DistanceM, start.AzimuthRad, start.OrientationRad
+	if station.Discover() == 0 {
+		return nil, fmt.Errorf("sim: mobile tag %d not discoverable at the trajectory start", cfg.TagID)
+	}
+
+	rep := &MobileReport{}
+	end := cfg.Trajectory[len(cfg.Trajectory)-1].Time
+	lastRate := ""
+	wasBlocked := false
+	var bits int64
+	for k := 0; ; k++ {
+		t := cfg.Trajectory[0].Time + float64(k)*step
+		if t > end {
+			break
+		}
+		w := interpolate(cfg.Trajectory, t)
+		p.DistanceM, p.AzimuthRad, p.OrientationRad = w.DistanceM, w.AzimuthRad, w.OrientationRad
+		loss, blocked := blockedAt(cfg.Blockage, t)
+		p.ExtraLossDB = loss
+
+		if k%refineEvery == 0 {
+			station.Refine(cfg.TagID)
+		}
+		res, err := station.Poll(cfg.TagID)
+		if err != nil {
+			return nil, err
+		}
+		sample := MobileSample{
+			Time:      t,
+			DistanceM: w.DistanceM,
+			Blocked:   blocked,
+			Rate:      res.Rate.String(),
+			Delivered: res.Delivered,
+			Attempts:  res.Attempts,
+		}
+		rep.Samples = append(rep.Samples, sample)
+		if res.Delivered {
+			rep.Delivered++
+			bits += int64(res.Bits)
+		} else {
+			rep.Lost++
+			if blocked {
+				rep.BlockedLost++
+			}
+		}
+		if lastRate != "" && sample.Rate != lastRate {
+			rep.RateChanges++
+			if cfg.Trace != nil {
+				cfg.Trace.Emit(trace.Event{
+					T: t, Kind: trace.KindRateChange, Tag: cfg.TagID,
+					Detail: lastRate + " -> " + sample.Rate,
+				})
+			}
+		}
+		lastRate = sample.Rate
+		if cfg.Trace != nil && blocked != wasBlocked {
+			detail := "clear"
+			if blocked {
+				detail = fmt.Sprintf("start %.0f dB", loss)
+			}
+			cfg.Trace.Emit(trace.Event{T: t, Kind: trace.KindBlockage, Tag: cfg.TagID, Detail: detail})
+		}
+		wasBlocked = blocked
+	}
+	if dur := end - cfg.Trajectory[0].Time; dur > 0 {
+		rep.GoodputBps = float64(bits) / dur
+	}
+	return rep, nil
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mmtag/internal/mac"
+	"mmtag/internal/tag"
+	"mmtag/internal/vanatta"
+)
+
+func mobileNetwork(t *testing.T) *Network {
+	t.Helper()
+	n := newNetwork(t)
+	// A QPSK-capable device so the adaptation ladder reaches 100 Mb/s.
+	arr, err := vanatta.New(vanatta.Config{Elements: 8, InsertionLossDB: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := tag.New(tag.Config{
+		ID:             1,
+		Array:          arr,
+		Modulation:     vanatta.QPSK(),
+		SwitchRiseTime: 2e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTag(Placement{Device: tg, DistanceM: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func walkAway(endM, duration float64) []Waypoint {
+	return []Waypoint{
+		{Time: 0, DistanceM: 2},
+		{Time: duration, DistanceM: endM},
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	tr := []Waypoint{
+		{Time: 0, DistanceM: 1, AzimuthRad: 0},
+		{Time: 1, DistanceM: 3, AzimuthRad: 0.2},
+		{Time: 3, DistanceM: 3, AzimuthRad: 0.2, OrientationRad: 1},
+	}
+	// Before start and after end clamp.
+	if w := interpolate(tr, -1); w.DistanceM != 1 {
+		t.Fatal("clamp start")
+	}
+	if w := interpolate(tr, 9); w.OrientationRad != 1 {
+		t.Fatal("clamp end")
+	}
+	// Midpoints interpolate linearly.
+	w := interpolate(tr, 0.5)
+	if math.Abs(w.DistanceM-2) > 1e-12 || math.Abs(w.AzimuthRad-0.1) > 1e-12 {
+		t.Fatalf("midpoint %+v", w)
+	}
+	w = interpolate(tr, 2)
+	if math.Abs(w.OrientationRad-0.5) > 1e-12 {
+		t.Fatalf("second segment %+v", w)
+	}
+}
+
+func TestRunMobileValidation(t *testing.T) {
+	n := mobileNetwork(t)
+	if _, err := RunMobile(nil, MobileConfig{}); err == nil {
+		t.Fatal("nil network must error")
+	}
+	if _, err := RunMobile(n, MobileConfig{TagID: 9, Trajectory: walkAway(4, 1)}); err == nil {
+		t.Fatal("unknown tag must error")
+	}
+	if _, err := RunMobile(n, MobileConfig{TagID: 1, Trajectory: walkAway(4, 1)[:1]}); err == nil {
+		t.Fatal("single waypoint must error")
+	}
+	bad := []Waypoint{{Time: 1, DistanceM: 2}, {Time: 1, DistanceM: 3}}
+	if _, err := RunMobile(n, MobileConfig{TagID: 1, Trajectory: bad}); err == nil {
+		t.Fatal("non-increasing times must error")
+	}
+}
+
+func TestRunMobileWalkAwayAdaptsRate(t *testing.T) {
+	n := mobileNetwork(t)
+	rep, err := RunMobile(n, MobileConfig{
+		TagID:      1,
+		Trajectory: walkAway(11, 0.2),
+		StepS:      2e-3,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) < 50 {
+		t.Fatalf("only %d samples", len(rep.Samples))
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// The rate must change at least once as the link thins.
+	if rep.RateChanges == 0 {
+		t.Fatal("no rate adaptation over a 2->11 m walk")
+	}
+	// Early samples at high rate, late at a lower one.
+	first, last := rep.Samples[0], rep.Samples[len(rep.Samples)-1]
+	if first.Rate == last.Rate {
+		t.Fatalf("rate unchanged: %s", first.Rate)
+	}
+	if rep.GoodputBps <= 0 || rep.DeliveryRatio() <= 0 {
+		t.Fatal("report totals")
+	}
+}
+
+func TestRunMobileBlockage(t *testing.T) {
+	run := func(retries int) *MobileReport {
+		n := mobileNetwork(t)
+		rep, err := RunMobile(n, MobileConfig{
+			TagID:      1,
+			Trajectory: []Waypoint{{Time: 0, DistanceM: 5}, {Time: 0.1, DistanceM: 5}},
+			// A deep blockage for the middle of the run: one-way 18 dB
+			// = 36 dB round trip, enough to break the top rates but
+			// not the robust ones.
+			Blockage: []BlockageEvent{{Start: 0.03, End: 0.07, AttenuationDB: 18}},
+			StepS:    1e-3,
+			Seed:     2,
+			Station:  mac.StationConfig{MaxRetries: retries},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run(3)
+	// Blocked samples exist and are flagged.
+	blocked := 0
+	for _, s := range rep.Samples {
+		if s.Blocked {
+			blocked++
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("no blocked samples recorded")
+	}
+	// The link adapts rather than dying: delivery ratio stays high
+	// because adaptation + ARQ ride through the episode.
+	if rep.DeliveryRatio() < 0.9 {
+		t.Fatalf("delivery ratio %g under blockage", rep.DeliveryRatio())
+	}
+}
+
+func TestRunMobileARQHelpsOnMarginalLink(t *testing.T) {
+	// Pin the rate table to a single aggressive rate so adaptation
+	// cannot hide the loss; then ARQ must visibly improve delivery.
+	build := func(retries int, d float64) *MobileReport {
+		n := mobileNetwork(t)
+		rep, err := RunMobile(n, MobileConfig{
+			TagID:      1,
+			Trajectory: []Waypoint{{Time: 0, DistanceM: d}, {Time: 0.1, DistanceM: d}},
+			StepS:      1e-3,
+			Seed:       3,
+			Station: mac.StationConfig{
+				MaxRetries: retries,
+				RateTable:  []mac.Rate{{Mod: mac.ModOOK(), BitRate: 100e6}},
+				// Keep discovery on a robust probe; only data polls are
+				// pinned to the aggressive rate under test.
+				ProbeRate: mac.Rate{Mod: mac.ModOOK(), BitRate: 1e6, Coded: true},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// The PER waterfall is steep, so find a genuinely marginal distance
+	// empirically rather than hardcoding one.
+	marginal := 0.0
+	var noARQ *MobileReport
+	for d := 6.0; d <= 10.0; d += 0.25 {
+		rep := build(-1, d)
+		if r := rep.DeliveryRatio(); r > 0.05 && r < 0.95 {
+			marginal, noARQ = d, rep
+			break
+		}
+	}
+	if noARQ == nil {
+		t.Fatal("no marginal distance found in [6, 10] m — PER model shape changed?")
+	}
+	withARQ := build(3, marginal)
+	if withARQ.DeliveryRatio() <= noARQ.DeliveryRatio() {
+		t.Fatalf("at %.2f m: ARQ (%g) must beat no-ARQ (%g)",
+			marginal, withARQ.DeliveryRatio(), noARQ.DeliveryRatio())
+	}
+}
+
+func TestRunMobileOutOfRangeStart(t *testing.T) {
+	n := newNetwork(t)
+	tg := newTag(t, 1, 8)
+	n.AddTag(Placement{Device: tg, DistanceM: 500})
+	_, err := RunMobile(n, MobileConfig{
+		TagID:      1,
+		Trajectory: []Waypoint{{Time: 0, DistanceM: 500}, {Time: 1, DistanceM: 400}},
+	})
+	if err == nil {
+		t.Fatal("undiscoverable start must error")
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+
+	"mmtag/internal/ap"
+	"mmtag/internal/channel"
+	"mmtag/internal/geom"
+	"mmtag/internal/tag"
+)
+
+// RoomTag positions a tag device in room coordinates.
+type RoomTag struct {
+	Device *tag.Tag
+	Pos    geom.Point
+	// OrientationRad is the tag's incidence angle relative to the
+	// straight line back to the AP (0 = facing the AP).
+	OrientationRad float64
+}
+
+// RoomScenario describes a deployment in 2-D room geometry.
+type RoomScenario struct {
+	Room geom.Room
+	// APPos is the access point's position.
+	APPos geom.Point
+	// APBoresightRad is the direction the AP array faces (radians from
+	// the +X axis).
+	APBoresightRad float64
+}
+
+// BuildRoomNetwork converts room geometry into a polar Network: each
+// tag's distance and azimuth come from its position, obstacle crossings
+// become per-tag extra link loss, and the room's first-order wall
+// echoes are returned as the clutter field the AP's cancellation stage
+// faces.
+func BuildRoomNetwork(apx *ap.AP, sc RoomScenario, tags []RoomTag) (*Network, []channel.Clutter, error) {
+	if apx == nil {
+		return nil, nil, fmt.Errorf("sim: AP is required")
+	}
+	net, err := NewNetwork(apx, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, rt := range tags {
+		if rt.Device == nil {
+			return nil, nil, fmt.Errorf("sim: room tag %d has no device", i)
+		}
+		d, az := geom.Polar(sc.APPos, rt.Pos, sc.APBoresightRad)
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("sim: room tag %d coincides with the AP", i)
+		}
+		extra := sc.Room.PathAttenuationDB(sc.APPos, rt.Pos)
+		if err := net.AddTag(Placement{
+			Device:         rt.Device,
+			DistanceM:      d,
+			AzimuthRad:     az,
+			OrientationRad: rt.OrientationRad,
+			ExtraLossDB:    extra,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	var clutter []channel.Clutter
+	for _, e := range sc.Room.MonostaticEchoes(sc.APPos) {
+		clutter = append(clutter, channel.Clutter{RCS: e.RCS, DistanceM: e.DistanceM})
+	}
+	return net, clutter, nil
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mmtag/internal/ap"
+	"mmtag/internal/geom"
+	"mmtag/internal/mac"
+	"mmtag/internal/rfmath"
+)
+
+func roomScenario(t *testing.T) (RoomScenario, *ap.AP) {
+	t.Helper()
+	room, err := geom.Rectangle(10, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apx, err := ap.New(ap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RoomScenario{
+		Room:  room,
+		APPos: geom.Point{X: 0.5, Y: 3},
+		// The AP faces down the +X axis into the room.
+		APBoresightRad: 0,
+	}, apx
+}
+
+func TestBuildRoomNetworkGeometry(t *testing.T) {
+	sc, apx := roomScenario(t)
+	tags := []RoomTag{
+		// Straight ahead, 4 m.
+		{Device: newTag(t, 1, 8), Pos: geom.Point{X: 4.5, Y: 3}},
+		// 3 m ahead, 3 m up: 45 degrees left at ~4.24 m.
+		{Device: newTag(t, 2, 8), Pos: geom.Point{X: 3.5, Y: 6}},
+	}
+	net, clutter, err := BuildRoomNetwork(apx, sc, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := net.Placement(1)
+	if math.Abs(p1.DistanceM-4) > 1e-12 || math.Abs(p1.AzimuthRad) > 1e-12 {
+		t.Fatalf("tag 1 placement %+v", p1)
+	}
+	p2, _ := net.Placement(2)
+	if math.Abs(p2.DistanceM-math.Hypot(3, 3)) > 1e-12 ||
+		math.Abs(p2.AzimuthRad-math.Pi/4) > 1e-12 {
+		t.Fatalf("tag 2 placement %+v", p2)
+	}
+	// Rectangle walls produce four first-order echoes.
+	if len(clutter) != 4 {
+		t.Fatalf("clutter count %d, want 4", len(clutter))
+	}
+}
+
+func TestRoomObstacleAttenuatesLink(t *testing.T) {
+	sc, apx := roomScenario(t)
+	// A 12 dB shelf between the AP and the far tag.
+	if err := sc.Room.AddObstacle(geom.Point{X: 2, Y: 1}, geom.Point{X: 2, Y: 5}, 12); err != nil {
+		t.Fatal(err)
+	}
+	tags := []RoomTag{
+		{Device: newTag(t, 1, 8), Pos: geom.Point{X: 4.5, Y: 3}},     // behind the shelf
+		{Device: newTag(t, 2, 8), Pos: geom.Point{X: 0.5, Y: 3 - 2}}, // beside the AP, clear
+	}
+	net, _, err := BuildRoomNetwork(apx, sc, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := net.Placement(1)
+	if p1.ExtraLossDB != 12 {
+		t.Fatalf("shadowed tag extra loss %g, want 12", p1.ExtraLossDB)
+	}
+	p2, _ := net.Placement(2)
+	if p2.ExtraLossDB != 0 {
+		t.Fatalf("clear tag extra loss %g, want 0", p2.ExtraLossDB)
+	}
+	// The loss flows through to SNR: compare to the same geometry
+	// without the obstacle (one-way ExtraLossDB enters MiscLossDB).
+	scClean, apx2 := roomScenario(t)
+	netClean, _, err := BuildRoomNetwork(apx2, scClean, []RoomTag{
+		{Device: newTag(t, 1, 8), Pos: geom.Point{X: 4.5, Y: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mac.Rate{Mod: mac.ModOOK(), BitRate: 10e6}
+	shadowed, _ := net.SNR(1, 0, r)
+	clean, _ := netClean.SNR(1, 0, r)
+	if math.Abs(rfmath.DB(clean/shadowed)-12) > 0.01 {
+		t.Fatalf("SNR penalty %g dB, want 12", rfmath.DB(clean/shadowed))
+	}
+}
+
+func TestRoomNetworkEndToEnd(t *testing.T) {
+	sc, apx := roomScenario(t)
+	tags := []RoomTag{
+		{Device: newTag(t, 1, 8), Pos: geom.Point{X: 4, Y: 3}},
+		{Device: newTag(t, 2, 8), Pos: geom.Point{X: 3, Y: 5}},
+		{Device: newTag(t, 3, 8), Pos: geom.Point{X: 3, Y: 1}},
+	}
+	net, _, err := BuildRoomNetwork(apx, sc, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunInventory(net, InventoryConfig{Duration: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Discovered != 3 {
+		t.Fatalf("discovered %d of 3 room tags", rep.Discovered)
+	}
+	if rep.GoodputBps <= 0 {
+		t.Fatal("no goodput in the room scenario")
+	}
+}
+
+func TestBuildRoomNetworkValidation(t *testing.T) {
+	sc, apx := roomScenario(t)
+	if _, _, err := BuildRoomNetwork(nil, sc, nil); err == nil {
+		t.Fatal("nil AP must error")
+	}
+	if _, _, err := BuildRoomNetwork(apx, sc, []RoomTag{{}}); err == nil {
+		t.Fatal("missing device must error")
+	}
+	if _, _, err := BuildRoomNetwork(apx, sc, []RoomTag{
+		{Device: newTag(t, 1, 8), Pos: sc.APPos},
+	}); err == nil {
+		t.Fatal("tag on top of the AP must error")
+	}
+}

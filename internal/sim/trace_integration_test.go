@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mmtag/internal/trace"
+)
+
+func TestInventoryEmitsTrace(t *testing.T) {
+	n := newNetwork(t)
+	for i, az := range []float64{-20, 20} {
+		tg := newTag(t, uint8(i+1), 8)
+		if err := n.AddTag(Placement{Device: tg, DistanceM: 2, AzimuthRad: Deg(az)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := trace.NewRecorder(0)
+	rep, err := RunInventory(n, InventoryConfig{Duration: 0.01, Seed: 1, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := rec.Filter(trace.KindDiscover, 0)
+	if len(disc) != rep.Discovered {
+		t.Fatalf("discover events %d, report says %d", len(disc), rep.Discovered)
+	}
+	polls := rec.Filter(trace.KindPoll, 0)
+	if len(polls) != rep.FramesOK+rep.FramesLost {
+		t.Fatalf("poll events %d, frames %d", len(polls), rep.FramesOK+rep.FramesLost)
+	}
+	okCount := 0
+	for _, e := range polls {
+		if e.OK {
+			okCount++
+		}
+	}
+	if okCount != rep.FramesOK {
+		t.Fatalf("poll OK events %d, FramesOK %d", okCount, rep.FramesOK)
+	}
+	// Timeline renders with discover lines carrying beam annotations.
+	out := rec.Render()
+	if !strings.Contains(out, "discover") || !strings.Contains(out, "beam") {
+		t.Fatalf("timeline missing annotations:\n%s", out[:min(len(out), 400)])
+	}
+}
+
+func TestMobileEmitsTrace(t *testing.T) {
+	n := mobileNetwork(t)
+	rec := trace.NewRecorder(0)
+	_, err := RunMobile(n, MobileConfig{
+		TagID:      1,
+		Trajectory: []Waypoint{{Time: 0, DistanceM: 2}, {Time: 0.1, DistanceM: 10}},
+		Blockage:   []BlockageEvent{{Start: 0.03, End: 0.05, AttenuationDB: 20}},
+		StepS:      1e-3,
+		Seed:       1,
+		Trace:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate changes on the walk-away, and exactly two blockage
+	// transitions (start + clear).
+	if len(rec.Filter(trace.KindRateChange, 1)) == 0 {
+		t.Fatal("no rate-change events on a 2->10 m walk")
+	}
+	bl := rec.Filter(trace.KindBlockage, 1)
+	if len(bl) != 2 {
+		t.Fatalf("blockage transitions %d, want 2", len(bl))
+	}
+	if !strings.Contains(bl[0].Detail, "start") || bl[1].Detail != "clear" {
+		t.Fatalf("blockage details %v", bl)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

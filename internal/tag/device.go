@@ -1,0 +1,222 @@
+package tag
+
+import (
+	"fmt"
+
+	"mmtag/internal/frame"
+	"mmtag/internal/phy"
+	"mmtag/internal/vanatta"
+)
+
+// State is the node's operating state.
+type State int
+
+// Node states.
+const (
+	Sleep State = iota
+	Listen
+	Backscatter
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Sleep:
+		return "sleep"
+	case Listen:
+		return "listen"
+	case Backscatter:
+		return "backscatter"
+	default:
+		return fmt.Sprintf("state-%d", int(s))
+	}
+}
+
+// Config parameterizes a node.
+type Config struct {
+	// ID is the node's 8-bit address.
+	ID uint8
+	// Array is the node's retro-reflective antenna structure.
+	Array *vanatta.Array
+	// Modulation is the backscatter alphabet the node signals with.
+	Modulation vanatta.StateSet
+	// SwitchRiseTime bounds the node's symbol rate (10-90% rise, s).
+	SwitchRiseTime float64
+	// Power is the node's power model; DefaultPowerModel if zero-valued
+	// (detected via NumSwitches == 0).
+	Power PowerModel
+	// DetectorSensitivityW is the minimum incident power at which the
+	// envelope detector can register the AP's query (-55 dBm class for
+	// an ADL6010 behind array gain).
+	DetectorSensitivityW float64
+}
+
+// Tag is one mmTag node: passive reflector, switch modulator, energy
+// meter and frame builder. It is not safe for concurrent use; the
+// simulator owns each tag on a single goroutine.
+type Tag struct {
+	cfg   Config
+	state State
+	seq   uint8
+
+	energyJ     float64
+	timeByState map[State]float64
+}
+
+// New constructs a node.
+func New(cfg Config) (*Tag, error) {
+	if cfg.Array == nil {
+		return nil, fmt.Errorf("tag: array is required")
+	}
+	if cfg.Modulation.Size() == 0 {
+		return nil, fmt.Errorf("tag: modulation alphabet is required")
+	}
+	if cfg.SwitchRiseTime < 0 {
+		return nil, fmt.Errorf("tag: switch rise time must be >= 0")
+	}
+	if cfg.Power.NumSwitches == 0 {
+		cfg.Power = DefaultPowerModel()
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DetectorSensitivityW == 0 {
+		cfg.DetectorSensitivityW = 3.2e-9 // -55 dBm
+	}
+	return &Tag{
+		cfg:         cfg,
+		state:       Sleep,
+		timeByState: make(map[State]float64),
+	}, nil
+}
+
+// ID returns the node address.
+func (t *Tag) ID() uint8 { return t.cfg.ID }
+
+// State returns the current operating state.
+func (t *Tag) State() State { return t.state }
+
+// Array returns the node's reflector.
+func (t *Tag) Array() *vanatta.Array { return t.cfg.Array }
+
+// Modulation returns the node's backscatter alphabet.
+func (t *Tag) Modulation() vanatta.StateSet { return t.cfg.Modulation }
+
+// Power returns the node's power model.
+func (t *Tag) Power() PowerModel { return t.cfg.Power }
+
+// MaxSymbolRate returns the switching-speed bound on the node's symbol
+// rate.
+func (t *Tag) MaxSymbolRate() float64 {
+	return vanatta.MaxSymbolRate(t.cfg.SwitchRiseTime)
+}
+
+// SetState transitions the node. Valid transitions: any state to Sleep
+// or Listen; Backscatter only from Listen (the node must have heard a
+// query to respond).
+func (t *Tag) SetState(s State) error {
+	if s == Backscatter && t.state != Listen {
+		return fmt.Errorf("tag: cannot backscatter from %v", t.state)
+	}
+	t.state = s
+	return nil
+}
+
+// CanHear reports whether an incident carrier of the given power (watts,
+// at the array port) clears the envelope detector's sensitivity.
+func (t *Tag) CanHear(incidentPowerW float64) bool {
+	return incidentPowerW >= t.cfg.DetectorSensitivityW
+}
+
+// Advance accounts dt seconds in the current state at the given symbol
+// rate (ignored outside Backscatter), accumulating energy.
+func (t *Tag) Advance(dt, symbolRate float64) {
+	if dt < 0 {
+		panic("tag: negative time step")
+	}
+	var p float64
+	switch t.state {
+	case Sleep:
+		p = t.cfg.Power.SleepPowerW()
+	case Listen:
+		p = t.cfg.Power.ListenPowerW()
+	case Backscatter:
+		p = t.cfg.Power.BackscatterPowerW(symbolRate)
+	}
+	t.energyJ += p * dt
+	t.timeByState[t.state] += dt
+}
+
+// EnergyJ returns the total energy consumed so far.
+func (t *Tag) EnergyJ() float64 { return t.energyJ }
+
+// TimeIn returns the cumulative seconds spent in a state.
+func (t *Tag) TimeIn(s State) float64 { return t.timeByState[s] }
+
+// ResetMeters clears the energy and time accounting.
+func (t *Tag) ResetMeters() {
+	t.energyJ = 0
+	t.timeByState = make(map[State]float64)
+}
+
+// NextSeq returns the next frame sequence number, incrementing the
+// counter.
+func (t *Tag) NextSeq() uint8 {
+	s := t.seq
+	t.seq++
+	return s
+}
+
+// BuildFrame assembles an uplink frame carrying payload and returns its
+// air bits (preamble excluded).
+func (t *Tag) BuildFrame(ft frame.Type, payload []byte, opts frame.Options) ([]byte, error) {
+	f := &frame.Frame{Type: ft, TagID: t.cfg.ID, Seq: t.NextSeq(), Payload: payload}
+	return f.EncodeBits(opts)
+}
+
+// Constellation returns the node's alphabet as a PHY constellation for
+// mapping bits onto backscatter symbols.
+func (t *Tag) Constellation() (*phy.Constellation, error) {
+	return phy.NewConstellation(t.cfg.Modulation.Name(), t.cfg.Modulation.States())
+}
+
+// SymbolsFor maps frame bits onto the node's alphabet.
+func (t *Tag) SymbolsFor(bits []byte) ([]int, error) {
+	c, err := t.Constellation()
+	if err != nil {
+		return nil, err
+	}
+	return c.MapBits(nil, bits), nil
+}
+
+// ResponseDuration returns how long (seconds) backscattering nBits takes
+// at the given bit rate.
+func (t *Tag) ResponseDuration(nBits int, bitRate float64) float64 {
+	if bitRate <= 0 {
+		panic("tag: bit rate must be positive")
+	}
+	return float64(nBits) / bitRate
+}
+
+// Respond performs a full uplink response: the node must be in Listen,
+// transitions through Backscatter for the frame duration at bitRate,
+// accounts the energy, and returns the air bits it modulated.
+func (t *Tag) Respond(ft frame.Type, payload []byte, bitRate float64, opts frame.Options) ([]byte, error) {
+	bitsPerSym := t.cfg.Modulation.BitsPerSymbol()
+	symbolRate := bitRate / float64(bitsPerSym)
+	if max := t.MaxSymbolRate(); symbolRate > max {
+		return nil, fmt.Errorf("tag: symbol rate %.3g exceeds switch limit %.3g", symbolRate, max)
+	}
+	bits, err := t.BuildFrame(ft, payload, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.SetState(Backscatter); err != nil {
+		return nil, err
+	}
+	t.Advance(t.ResponseDuration(len(bits), bitRate), symbolRate)
+	if err := t.SetState(Listen); err != nil {
+		return nil, err
+	}
+	return bits, nil
+}

@@ -1,0 +1,306 @@
+package tag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmtag/internal/frame"
+	"mmtag/internal/vanatta"
+)
+
+func testTag(t *testing.T) *Tag {
+	t.Helper()
+	arr, err := vanatta.New(vanatta.Config{Elements: 8, InsertionLossDB: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := New(Config{
+		ID:             7,
+		Array:          arr,
+		Modulation:     vanatta.OOK(),
+		SwitchRiseTime: 2e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestDefaultPowerModelCalibration(t *testing.T) {
+	p := DefaultPowerModel()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The calibration target: ~2.4 nJ/bit at 10 Mb/s OOK (the figure
+	// attested for mmTag by the MilBack comparison table).
+	e := p.EnergyPerBitJ(10e6, 1)
+	if e < 2.0e-9 || e > 2.8e-9 {
+		t.Fatalf("energy per bit at 10 Mb/s = %.3g J, want ~2.4 nJ", e)
+	}
+	// Listen mode sits in the tens of mW at most (envelope detector).
+	if lp := p.ListenPowerW(); lp <= 0 || lp > 20e-3 {
+		t.Fatalf("listen power %g W", lp)
+	}
+	// Sleep is microwatts.
+	if p.SleepPowerW() > 10e-6 {
+		t.Fatal("sleep power too high")
+	}
+}
+
+func TestPowerModelValidation(t *testing.T) {
+	bad := []PowerModel{
+		{NumSwitches: 0, ActivityFactor: 0.5},
+		{NumSwitches: 2, ActivityFactor: 0},
+		{NumSwitches: 2, ActivityFactor: 1.5},
+		{NumSwitches: 2, ActivityFactor: 0.5, SwitchStaticW: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("model %d must fail validation", i)
+		}
+	}
+}
+
+func TestBackscatterPowerScalesWithRate(t *testing.T) {
+	p := DefaultPowerModel()
+	p0 := p.BackscatterPowerW(0)
+	p10 := p.BackscatterPowerW(10e6)
+	p100 := p.BackscatterPowerW(100e6)
+	if !(p0 < p10 && p10 < p100) {
+		t.Fatal("backscatter power must grow with symbol rate")
+	}
+	// Dynamic part is linear in rate.
+	d1 := p10 - p0
+	d2 := p100 - p0
+	if math.Abs(d2/d1-10) > 1e-9 {
+		t.Fatalf("dynamic power not linear: %g vs %g", d1, d2)
+	}
+}
+
+func TestEnergyPerBitShape(t *testing.T) {
+	// Energy/bit falls with rate (static amortized) and asymptotes to
+	// the per-transition dynamic energy.
+	p := DefaultPowerModel()
+	prev := math.Inf(1)
+	for _, r := range []float64{1e6, 3e6, 10e6, 30e6, 100e6} {
+		e := p.EnergyPerBitJ(r, 1)
+		if e >= prev {
+			t.Fatalf("energy per bit must decrease with rate (at %g)", r)
+		}
+		prev = e
+	}
+	asymptote := p.SwitchTransitionJ * p.ActivityFactor * float64(p.NumSwitches)
+	if e := p.EnergyPerBitJ(1e11, 1); math.Abs(e-asymptote)/asymptote > 0.05 {
+		t.Fatalf("high-rate energy %.3g, want asymptote %.3g", e, asymptote)
+	}
+}
+
+func TestHigherOrderModulationSavesEnergy(t *testing.T) {
+	// QPSK halves the symbol rate for a bit rate, halving dynamic power.
+	p := DefaultPowerModel()
+	ook := p.EnergyPerBitJ(10e6, 1)
+	qpsk := p.EnergyPerBitJ(10e6, 2)
+	if qpsk >= ook {
+		t.Fatal("more bits per symbol must reduce energy per bit")
+	}
+}
+
+func TestBreakdownsSum(t *testing.T) {
+	p := DefaultPowerModel()
+	p.IncludeMCU = true
+	b := p.BackscatterBreakdown(10e6)
+	sum := b.SwitchStaticW + b.SwitchDynamicW + b.EnvelopeW + b.MCUW
+	if math.Abs(sum-b.TotalW) > 1e-15 {
+		t.Fatal("backscatter breakdown must sum to total")
+	}
+	if b.EnvelopeW != 0 {
+		t.Fatal("envelope detector must be off while backscattering")
+	}
+	if b.MCUW != p.MCUActiveW {
+		t.Fatal("MCU power missing with IncludeMCU")
+	}
+	lb := p.ListenBreakdown()
+	if lb.EnvelopeW != p.EnvelopeDetectorW || lb.TotalW != lb.EnvelopeW+lb.MCUW {
+		t.Fatal("listen breakdown wrong")
+	}
+	// Consistency with the scalar functions.
+	if math.Abs(b.TotalW-p.BackscatterPowerW(10e6)) > 1e-15 {
+		t.Fatal("breakdown total must match BackscatterPowerW")
+	}
+}
+
+func TestActiveRadioBaseline(t *testing.T) {
+	a := DefaultActiveRadio()
+	if a.TransmitPowerW() < 0.1 {
+		t.Fatal("active radio should draw hundreds of mW")
+	}
+	// The backscatter node must beat the active radio by at least an
+	// order of magnitude at 10 Mb/s.
+	adv := EnergyAdvantage(DefaultPowerModel(), a, 10e6, 1)
+	if adv < 10 {
+		t.Fatalf("energy advantage %.1fx, want >= 10x", adv)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	arr, _ := vanatta.New(vanatta.Config{Elements: 4})
+	if _, err := New(Config{Modulation: vanatta.OOK()}); err == nil {
+		t.Fatal("missing array must error")
+	}
+	if _, err := New(Config{Array: arr}); err == nil {
+		t.Fatal("missing modulation must error")
+	}
+	if _, err := New(Config{Array: arr, Modulation: vanatta.OOK(), SwitchRiseTime: -1}); err == nil {
+		t.Fatal("negative rise time must error")
+	}
+}
+
+func TestStateMachine(t *testing.T) {
+	tg := testTag(t)
+	if tg.State() != Sleep {
+		t.Fatal("must boot asleep")
+	}
+	// Cannot backscatter from sleep.
+	if err := tg.SetState(Backscatter); err == nil {
+		t.Fatal("backscatter from sleep must error")
+	}
+	if err := tg.SetState(Listen); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.SetState(Backscatter); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.SetState(Sleep); err != nil {
+		t.Fatal(err)
+	}
+	if Sleep.String() != "sleep" || Listen.String() != "listen" ||
+		Backscatter.String() != "backscatter" || State(9).String() != "state-9" {
+		t.Fatal("state names")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	tg := testTag(t)
+	tg.SetState(Listen)
+	tg.Advance(1.0, 0)
+	wantListen := tg.Power().ListenPowerW()
+	if math.Abs(tg.EnergyJ()-wantListen) > 1e-15 {
+		t.Fatalf("listen energy %g, want %g", tg.EnergyJ(), wantListen)
+	}
+	if tg.TimeIn(Listen) != 1.0 {
+		t.Fatal("listen time accounting")
+	}
+	tg.ResetMeters()
+	if tg.EnergyJ() != 0 || tg.TimeIn(Listen) != 0 {
+		t.Fatal("ResetMeters must clear")
+	}
+}
+
+func TestCanHear(t *testing.T) {
+	tg := testTag(t)
+	if tg.CanHear(1e-12) {
+		t.Fatal("below sensitivity must be inaudible")
+	}
+	if !tg.CanHear(1e-6) {
+		t.Fatal("strong signal must be audible")
+	}
+}
+
+func TestRespondAccountsEnergyAndSequence(t *testing.T) {
+	tg := testTag(t)
+	tg.SetState(Listen)
+	payload := []byte("sensor reading")
+	bits, err := tg.Respond(frame.TypeData, payload, 10e6, frame.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != frame.AirBits(len(payload), frame.Options{}) {
+		t.Fatal("respond bit count mismatch")
+	}
+	if tg.State() != Listen {
+		t.Fatal("node must return to listen after responding")
+	}
+	dur := tg.ResponseDuration(len(bits), 10e6)
+	wantE := tg.Power().BackscatterPowerW(10e6) * dur
+	if math.Abs(tg.EnergyJ()-wantE) > 1e-18 {
+		t.Fatalf("respond energy %g, want %g", tg.EnergyJ(), wantE)
+	}
+	// Sequence numbers increment per frame.
+	f1, _, _ := frame.DecodeBits(bits, frame.Options{})
+	bits2, _ := tg.Respond(frame.TypeData, payload, 10e6, frame.Options{})
+	f2, _, _ := frame.DecodeBits(bits2, frame.Options{})
+	if f2.Seq != f1.Seq+1 {
+		t.Fatalf("seq %d -> %d, want increment", f1.Seq, f2.Seq)
+	}
+	if f1.TagID != 7 {
+		t.Fatal("tag ID must be stamped into frames")
+	}
+}
+
+func TestRespondEnforcesSwitchLimit(t *testing.T) {
+	arr, _ := vanatta.New(vanatta.Config{Elements: 8})
+	slow, err := New(Config{ID: 1, Array: arr, Modulation: vanatta.OOK(), SwitchRiseTime: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.SetState(Listen)
+	if _, err := slow.Respond(frame.TypeData, []byte("x"), 100e6, frame.Options{}); err == nil {
+		t.Fatal("rate beyond switch limit must error")
+	}
+	// A rate under the limit works.
+	if _, err := slow.Respond(frame.TypeData, []byte("x"), 100e3, frame.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRespondRequiresListen(t *testing.T) {
+	tg := testTag(t)
+	if _, err := tg.Respond(frame.TypeData, []byte("x"), 1e6, frame.Options{}); err == nil {
+		t.Fatal("respond from sleep must error")
+	}
+}
+
+func TestSymbolsForRoundTrip(t *testing.T) {
+	tg := testTag(t)
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	syms, err := tg.SymbolsFor(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) != 8 { // OOK: one bit per symbol
+		t.Fatalf("symbol count %d", len(syms))
+	}
+	c, _ := tg.Constellation()
+	back := c.UnmapBits(nil, syms)
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatal("symbol mapping round trip failed")
+		}
+	}
+}
+
+func TestAdvancePanicsOnNegativeDt(t *testing.T) {
+	tg := testTag(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tg.Advance(-1, 0)
+}
+
+func TestEnergyPerBitMonotoneProperty(t *testing.T) {
+	p := DefaultPowerModel()
+	f := func(a, b uint32) bool {
+		r1 := float64(a%100+1) * 1e6
+		r2 := float64(b%100+1) * 1e6
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		return p.EnergyPerBitJ(r2, 1) <= p.EnergyPerBitJ(r1, 1)+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package trace provides a structured event log for simulation runs:
+// the simulator emits typed events (probes, discoveries, polls, rate
+// changes, blockage transitions) that tooling can filter, summarize, or
+// export as JSON lines for offline analysis — the packet-capture
+// equivalent for the packet-level simulator.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies events.
+type Kind string
+
+// Event kinds.
+const (
+	KindProbe      Kind = "probe"
+	KindDiscover   Kind = "discover"
+	KindPoll       Kind = "poll"
+	KindRateChange Kind = "rate-change"
+	KindBlockage   Kind = "blockage"
+	KindCustom     Kind = "custom"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// T is the simulation time in seconds.
+	T float64 `json:"t"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Tag is the tag ID the event concerns (0 when not applicable).
+	Tag uint8 `json:"tag,omitempty"`
+	// Detail is a short human-readable annotation.
+	Detail string `json:"detail,omitempty"`
+	// OK marks success/failure for poll-like events.
+	OK bool `json:"ok,omitempty"`
+}
+
+// Recorder accumulates events. It is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	cap    int
+}
+
+// NewRecorder returns a recorder bounded to maxEvents (unbounded when
+// maxEvents <= 0); once full, further events are dropped and counted.
+func NewRecorder(maxEvents int) *Recorder {
+	return &Recorder{cap: maxEvents}
+}
+
+// Emit records an event (unless the bound is reached).
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cap > 0 && len(r.events) >= r.cap {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the events of the given kind (all tags when tag is 0).
+func (r *Recorder) Filter(kind Kind, tag uint8) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind != kind {
+			continue
+		}
+		if tag != 0 && e.Tag != tag {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Summary aggregates event counts per kind.
+func (r *Recorder) Summary() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteJSONL streams the events as JSON lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON-lines stream back into events.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Render formats a compact text timeline, one line per event, sorted by
+// time (stable for ties).
+func (r *Recorder) Render() string {
+	events := r.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "%10.6fs  %-12s", e.T, e.Kind)
+		if e.Tag != 0 {
+			fmt.Fprintf(&b, " tag=%-3d", e.Tag)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(&b, " %s", e.Detail)
+		}
+		if e.Kind == KindPoll {
+			fmt.Fprintf(&b, " ok=%v", e.OK)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

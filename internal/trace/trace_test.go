@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndFilter(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{T: 0.1, Kind: KindProbe})
+	r.Emit(Event{T: 0.2, Kind: KindDiscover, Tag: 3})
+	r.Emit(Event{T: 0.3, Kind: KindPoll, Tag: 3, OK: true})
+	r.Emit(Event{T: 0.4, Kind: KindPoll, Tag: 5, OK: false})
+	if r.Len() != 4 {
+		t.Fatalf("len %d", r.Len())
+	}
+	polls := r.Filter(KindPoll, 0)
+	if len(polls) != 2 {
+		t.Fatalf("polls %d", len(polls))
+	}
+	tag3 := r.Filter(KindPoll, 3)
+	if len(tag3) != 1 || !tag3[0].OK {
+		t.Fatalf("tag3 polls %v", tag3)
+	}
+	sum := r.Summary()
+	if sum[KindPoll] != 2 || sum[KindProbe] != 1 || sum[KindDiscover] != 1 {
+		t.Fatalf("summary %v", sum)
+	}
+}
+
+func TestBoundedRecorderDrops(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{T: float64(i), Kind: KindCustom})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("bounded recorder kept %d", r.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{T: 1.5, Kind: KindRateChange, Tag: 7, Detail: "qpsk-100M -> ook-2M"})
+	r.Emit(Event{T: 2.0, Kind: KindBlockage, Detail: "start 25 dB"})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Detail != "qpsk-100M -> ook-2M" || events[1].Kind != KindBlockage {
+		t.Fatalf("round trip %v", events)
+	}
+	// Corrupt stream errors.
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSONL must error")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{T: 0.2, Kind: KindPoll, Tag: 1, OK: true})
+	r.Emit(Event{T: 0.1, Kind: KindDiscover, Tag: 1, Detail: "beam -12.6deg"})
+	out := r.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	// Sorted by time.
+	if !strings.Contains(lines[0], "discover") || !strings.Contains(lines[1], "ok=true") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{T: 1, Kind: KindProbe})
+	ev := r.Events()
+	ev[0].T = 99
+	if r.Events()[0].T != 1 {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{T: float64(i), Kind: KindCustom, Tag: uint8(g + 1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("concurrent emits lost events: %d", r.Len())
+	}
+}

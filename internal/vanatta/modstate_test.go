@@ -1,0 +1,262 @@
+package vanatta
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateSetAlphabets(t *testing.T) {
+	cases := []struct {
+		set     StateSet
+		size    int
+		bits    int
+		meanPow float64
+		minDist float64
+	}{
+		{OOK(), 2, 1, 0.5, 1},
+		{BPSK(), 2, 1, 1, 2},
+		{QPSK(), 4, 2, 1, math.Sqrt2},
+		{PSK8(), 8, 3, 1, 2 * math.Sin(math.Pi/8)},
+		{QAM16(), 16, 4, 10.0 / 18.0, 2.0 / (3 * math.Sqrt2)},
+	}
+	for _, c := range cases {
+		t.Run(c.set.Name(), func(t *testing.T) {
+			if c.set.Size() != c.size {
+				t.Fatalf("size %d, want %d", c.set.Size(), c.size)
+			}
+			if c.set.BitsPerSymbol() != c.bits {
+				t.Fatalf("bits %d, want %d", c.set.BitsPerSymbol(), c.bits)
+			}
+			if p := c.set.MeanReflectedPower(); math.Abs(p-c.meanPow) > 1e-12 {
+				t.Fatalf("mean power %g, want %g", p, c.meanPow)
+			}
+			if d := c.set.MinDistance(); math.Abs(d-c.minDist) > 1e-12 {
+				t.Fatalf("min distance %g, want %g", d, c.minDist)
+			}
+		})
+	}
+}
+
+func TestStatesArePassive(t *testing.T) {
+	// A passive termination cannot amplify: every |Γ| <= 1.
+	for _, s := range []StateSet{OOK(), BPSK(), QPSK(), PSK8(), QAM16()} {
+		for i, g := range s.States() {
+			if cmplx.Abs(g) > 1+1e-12 {
+				t.Fatalf("%s state %d has |Γ| = %g > 1", s.Name(), i, cmplx.Abs(g))
+			}
+		}
+	}
+}
+
+func TestQAM16GrayLabelling(t *testing.T) {
+	// Adjacent constellation points (one grid step apart) must differ in
+	// exactly one bit.
+	s := QAM16()
+	states := s.States()
+	step := 2.0 / (3 * math.Sqrt2) // one grid level spacing after scaling
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			if math.Abs(cmplx.Abs(states[a]-states[b])-step) < 1e-9 {
+				diff := a ^ b
+				if bitsSet(diff) != 1 {
+					t.Fatalf("neighbours %04b and %04b differ in %d bits", a, b, bitsSet(diff))
+				}
+			}
+		}
+	}
+}
+
+func TestPSK8GrayLabelling(t *testing.T) {
+	// Phase-adjacent states (45° apart on the circle) differ in exactly
+	// one bit.
+	s := PSK8()
+	states := s.States()
+	step := 2 * math.Sin(math.Pi/8)
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			if math.Abs(cmplx.Abs(states[a]-states[b])-step) < 1e-9 {
+				if bitsSet(a^b) != 1 {
+					t.Fatalf("adjacent phases %03b and %03b differ in %d bits", a, b, bitsSet(a^b))
+				}
+			}
+		}
+	}
+	// All unit magnitude.
+	for i, g := range states {
+		if math.Abs(cmplx.Abs(g)-1) > 1e-12 {
+			t.Fatalf("state %d magnitude %g", i, cmplx.Abs(g))
+		}
+	}
+}
+
+func bitsSet(x int) int {
+	n := 0
+	for x != 0 {
+		n += x & 1
+		x >>= 1
+	}
+	return n
+}
+
+func TestStateSetGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	OOK().Gamma(2)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ook", "bpsk", "qpsk", "8psk", "16qam"} {
+		s, err := ByName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, s.Name(), err)
+		}
+	}
+	if _, err := ByName("64apsk"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestStatesReturnsCopy(t *testing.T) {
+	s := QPSK()
+	st := s.States()
+	st[0] = 99
+	if s.Gamma(0) == 99 {
+		t.Fatal("States must return a copy")
+	}
+}
+
+func TestModulatorValidation(t *testing.T) {
+	if _, err := NewModulator(OOK(), 0, 1e6, 0); err == nil {
+		t.Fatal("zero symbol rate must error")
+	}
+	if _, err := NewModulator(OOK(), 1e6, 1.5e6, 0); err == nil {
+		t.Fatal("non-integer oversampling must error")
+	}
+	if _, err := NewModulator(OOK(), 1e6, 1e6, 0); err == nil {
+		t.Fatal("1 sample/symbol must error")
+	}
+	if _, err := NewModulator(OOK(), 1e6, 8e6, -1); err == nil {
+		t.Fatal("negative rise time must error")
+	}
+}
+
+func TestModulatorIdealSwitch(t *testing.T) {
+	m, err := NewModulator(BPSK(), 1e6, 8e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Waveform(nil, []int{0, 1, 0})
+	if len(w) != 24 {
+		t.Fatalf("waveform length %d, want 24", len(w))
+	}
+	// With zero rise time every sample sits exactly on a state.
+	for i, v := range w {
+		want := complex128(1)
+		if i >= 8 && i < 16 {
+			want = -1
+		}
+		if cmplx.Abs(v-want) > 1e-12 {
+			t.Fatalf("sample %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestModulatorRiseTimeSettling(t *testing.T) {
+	// 10 ns rise time, 1 Msym/s: settles easily. At 50 Msym/s it can't.
+	slow, _ := NewModulator(BPSK(), 1e6, 16e6, 10e-9)
+	fast, _ := NewModulator(BPSK(), 50e6, 800e6, 100e-9)
+	if f := slow.SettledFraction(); f < 0.9 {
+		t.Fatalf("slow symbol settled fraction %g, want ~1", f)
+	}
+	if f := fast.SettledFraction(); f > 0.5 {
+		t.Fatalf("fast symbol settled fraction %g, should be small", f)
+	}
+	// Waveform end-of-symbol value approaches the target when settled.
+	w := slow.Waveform(nil, []int{0, 1})
+	if cmplx.Abs(w[len(w)-1]-(-1)) > 0.05 {
+		t.Fatalf("end of symbol %v, want ~ -1", w[len(w)-1])
+	}
+}
+
+func TestModulatorTrajectoryMonotone(t *testing.T) {
+	// An RC transition from +1 to -1 must move monotonically.
+	m, _ := NewModulator(BPSK(), 1e6, 32e6, 200e-9)
+	w := m.Waveform(nil, []int{0, 1})
+	prev := real(w[31])
+	for i := 32; i < 64; i++ {
+		if real(w[i]) > prev+1e-12 {
+			t.Fatalf("transition not monotone at %d", i)
+		}
+		prev = real(w[i])
+	}
+}
+
+func TestModulatorReset(t *testing.T) {
+	m, _ := NewModulator(BPSK(), 1e6, 8e6, 100e-9)
+	a := m.Waveform(nil, []int{1, 0, 1})
+	m.Reset()
+	b := m.Waveform(nil, []int{1, 0, 1})
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("Reset must restore initial state")
+		}
+	}
+}
+
+func TestMaxSymbolRate(t *testing.T) {
+	if !math.IsInf(MaxSymbolRate(0), 1) {
+		t.Fatal("zero rise time must allow unbounded rate")
+	}
+	// Faster switches allow higher rates, and the relation is inverse.
+	r10 := MaxSymbolRate(10e-9)
+	r20 := MaxSymbolRate(20e-9)
+	if math.Abs(r10/r20-2) > 1e-9 {
+		t.Fatalf("rate should be inverse in rise time: %g vs %g", r10, r20)
+	}
+	// A modulator running exactly at the max rate has settled fraction
+	// ~0.5 by construction.
+	rt := 5e-9
+	rate := MaxSymbolRate(rt)
+	// Round to an integer oversampling of 16.
+	m, err := NewModulator(BPSK(), rate, rate*16, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.SettledFraction(); math.Abs(f-0.5) > 0.1 {
+		t.Fatalf("settled fraction at max rate %g, want ~0.5", f)
+	}
+}
+
+func TestModulatorSettledProperty(t *testing.T) {
+	// Property: halving the symbol rate can only improve settling.
+	f := func(rtRaw uint8) bool {
+		rt := float64(rtRaw%100+1) * 1e-9
+		m1, err1 := NewModulator(QPSK(), 10e6, 160e6, rt)
+		m2, err2 := NewModulator(QPSK(), 5e6, 160e6, rt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return m2.SettledFraction() >= m1.SettledFraction()-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkModulatorWaveform(b *testing.B) {
+	m, _ := NewModulator(QPSK(), 10e6, 160e6, 5e-9)
+	symbols := make([]int, 256)
+	for i := range symbols {
+		symbols[i] = i % 4
+	}
+	buf := make([]complex128, 0, 256*16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Waveform(buf[:0], symbols)
+	}
+}

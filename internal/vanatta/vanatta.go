@@ -1,0 +1,226 @@
+// Package vanatta models the passive retro-reflective antenna array at the
+// heart of an mmTag node, together with the baseline reflectors the
+// evaluation compares against.
+//
+// A Van Atta array cross-connects its antenna elements in mirror pairs
+// with equal-length transmission lines. An incident wavefront picked up by
+// element k is re-radiated by element N-1-k, which conjugates the aperture
+// phase profile: the reflected beam leaves toward the direction of
+// arrival. The tag therefore enjoys full array gain toward the AP at any
+// incidence angle within the element field of view, without phase
+// shifters or any powered beam steering — the property that makes mmWave
+// backscatter feasible at all.
+//
+// Data modulation is applied by switching the termination seen by the
+// trace network: the reflected wave is multiplied by a programmable
+// reflection coefficient Γ. Sets of Γ states implement OOK, BPSK, QPSK
+// and 16-QAM backscatter modulation (package modstate types).
+//
+// Angles are radians from array broadside. Gains are linear power ratios.
+package vanatta
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmtag/internal/antenna"
+)
+
+// Reflector is any passive structure that returns a monostatic echo. The
+// evaluation compares the Van Atta array against simpler reflectors.
+type Reflector interface {
+	// MonostaticGain returns the per-pass linear gain of the reflector
+	// toward a monostatic observer at angle theta: the echo power is
+	// proportional to MonostaticGain(theta)^2 in the backscatter link
+	// budget.
+	MonostaticGain(theta float64) float64
+	// Name identifies the reflector in experiment output.
+	Name() string
+}
+
+// Array is an N-element Van Atta retro-reflective array built from
+// identical elements on a uniform line. The zero value is unusable; use
+// New.
+type Array struct {
+	element antenna.Element
+	n       int
+	spacing float64 // element spacing, wavelengths
+
+	// insertionLoss is the one-pass linear power loss of the trace/switch
+	// network (0 < insertionLoss <= 1).
+	insertionLoss float64
+}
+
+// Config parameterizes a Van Atta array.
+type Config struct {
+	// Elements is the element count; must be even and >= 2 so elements
+	// pair up across the array centre.
+	Elements int
+	// SpacingWavelengths is the element pitch; 0.5 if zero.
+	SpacingWavelengths float64
+	// Element is the per-element pattern; a 5 dBi patch if nil.
+	Element antenna.Element
+	// InsertionLossDB is the one-pass trace + switch network loss in dB
+	// (>= 0); 1.5 dB is typical of a PCB implementation with one SPDT
+	// switch in the path.
+	InsertionLossDB float64
+}
+
+// New constructs a Van Atta array.
+func New(cfg Config) (*Array, error) {
+	if cfg.Elements < 2 || cfg.Elements%2 != 0 {
+		return nil, fmt.Errorf("vanatta: element count must be even and >= 2, got %d", cfg.Elements)
+	}
+	if cfg.InsertionLossDB < 0 {
+		return nil, fmt.Errorf("vanatta: insertion loss must be >= 0 dB, got %g", cfg.InsertionLossDB)
+	}
+	spacing := cfg.SpacingWavelengths
+	if spacing == 0 {
+		spacing = 0.5
+	}
+	if spacing < 0 {
+		return nil, fmt.Errorf("vanatta: spacing must be positive, got %g", spacing)
+	}
+	el := cfg.Element
+	if el == nil {
+		el = antenna.NewPatch()
+	}
+	return &Array{
+		element:       el,
+		n:             cfg.Elements,
+		spacing:       spacing,
+		insertionLoss: math.Pow(10, -cfg.InsertionLossDB/10),
+	}, nil
+}
+
+// N returns the element count.
+func (a *Array) N() int { return a.n }
+
+// Name implements Reflector.
+func (a *Array) Name() string { return fmt.Sprintf("van-atta-%d", a.n) }
+
+// BistaticAF returns the complex array factor for a wave arriving from
+// thetaIn and observed at thetaOut, normalized so |AF| = 1 when all
+// element contributions add coherently.
+//
+// Element k (position k*d) receives phase 2*pi*d*k*sin(thetaIn) and
+// re-radiates from its partner at position (N-1-k)*d.
+func (a *Array) BistaticAF(thetaIn, thetaOut float64) complex128 {
+	var af complex128
+	d := a.spacing
+	for k := 0; k < a.n; k++ {
+		phase := 2 * math.Pi * d * (float64(k)*math.Sin(thetaIn) + float64(a.n-1-k)*math.Sin(thetaOut))
+		af += cmplx.Exp(complex(0, phase))
+	}
+	return af / complex(float64(a.n), 0)
+}
+
+// MonostaticGain returns the per-pass linear gain toward a monostatic
+// observer at theta. Because the Van Atta re-radiated beam tracks the
+// arrival direction, the array factor is fully coherent at every theta;
+// only the element pattern and the network insertion loss (amortized as a
+// half-loss per pass so the two-pass budget sees it once) shape the
+// response.
+func (a *Array) MonostaticGain(theta float64) float64 {
+	af := a.BistaticAF(theta, theta)
+	afPow := real(af)*real(af) + imag(af)*imag(af)
+	return a.element.Gain(theta) * float64(a.n) * afPow * math.Sqrt(a.insertionLoss)
+}
+
+// BistaticGain returns the linear gain for energy arriving from thetaIn
+// and leaving toward thetaOut, the quantity that determines how much a
+// neighbouring AP beam direction hears of the tag's reflection (spatial
+// isolation for SDM).
+func (a *Array) BistaticGain(thetaIn, thetaOut float64) float64 {
+	af := a.BistaticAF(thetaIn, thetaOut)
+	afPow := real(af)*real(af) + imag(af)*imag(af)
+	g := math.Sqrt(a.element.Gain(thetaIn) * a.element.Gain(thetaOut))
+	return g * float64(a.n) * afPow * math.Sqrt(a.insertionLoss)
+}
+
+// RCS returns the monostatic radar cross-section (m^2) of the array at
+// theta for wavelength lambda (m), for radar-equation budgets:
+//
+//	sigma = G(theta)^2 * lambda^2 / (4 pi)
+func (a *Array) RCS(theta, lambda float64) float64 {
+	g := a.MonostaticGain(theta)
+	return g * g * lambda * lambda / (4 * math.Pi)
+}
+
+// FieldOfView returns the half-angle (radians) within which the
+// monostatic gain stays within 3 dB of broadside.
+func (a *Array) FieldOfView() float64 {
+	peak := a.MonostaticGain(0)
+	for th := 0.0; th < math.Pi/2; th += 0.001 {
+		if a.MonostaticGain(th) < peak/2 {
+			return th
+		}
+	}
+	return math.Pi / 2
+}
+
+// FlatPlate models the baseline a Van Atta is compared against: a static
+// array (or metal plate) of the same aperture whose re-radiated beam
+// stays at the specular direction. Its monostatic echo collapses as soon
+// as the observer leaves broadside.
+type FlatPlate struct {
+	element antenna.Element
+	n       int
+	spacing float64
+}
+
+// NewFlatPlate returns an n-element static reflector with the given
+// element pattern and spacing in wavelengths.
+func NewFlatPlate(element antenna.Element, n int, spacingWavelengths float64) (*FlatPlate, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("vanatta: flat plate needs >= 1 element, got %d", n)
+	}
+	if spacingWavelengths <= 0 {
+		return nil, fmt.Errorf("vanatta: flat plate spacing must be positive, got %g", spacingWavelengths)
+	}
+	if element == nil {
+		element = antenna.NewPatch()
+	}
+	return &FlatPlate{element: element, n: n, spacing: spacingWavelengths}, nil
+}
+
+// Name implements Reflector.
+func (p *FlatPlate) Name() string { return fmt.Sprintf("flat-plate-%d", p.n) }
+
+// MonostaticGain returns the per-pass gain toward a monostatic observer:
+// each element re-radiates with the phase it received, so the round-trip
+// aperture phase slope doubles and the pattern narrows to half the usual
+// width around broadside.
+func (p *FlatPlate) MonostaticGain(theta float64) float64 {
+	// Sum of exp(j * 2 * 2*pi*d*k*sin(theta)): the doubled phase slope.
+	var af complex128
+	for k := 0; k < p.n; k++ {
+		phase := 2 * math.Pi * p.spacing * 2 * float64(k) * math.Sin(theta)
+		af += cmplx.Exp(complex(0, phase))
+	}
+	afPow := (real(af)*real(af) + imag(af)*imag(af)) / float64(p.n*p.n)
+	return p.element.Gain(theta) * float64(p.n) * afPow
+}
+
+// SingleAntenna is the minimal baseline: one element with no array gain.
+type SingleAntenna struct {
+	element antenna.Element
+}
+
+// NewSingleAntenna returns a one-element reflector (a conventional
+// low-frequency backscatter tag antenna).
+func NewSingleAntenna(element antenna.Element) *SingleAntenna {
+	if element == nil {
+		element = antenna.NewPatch()
+	}
+	return &SingleAntenna{element: element}
+}
+
+// Name implements Reflector.
+func (s *SingleAntenna) Name() string { return "single-antenna" }
+
+// MonostaticGain returns the element gain alone.
+func (s *SingleAntenna) MonostaticGain(theta float64) float64 {
+	return s.element.Gain(theta)
+}

@@ -1,0 +1,241 @@
+// Package mmtag is a simulation-backed reimplementation of mmTag, a
+// millimeter-wave backscatter network (SIGCOMM 2021 reconstruction —
+// see DESIGN.md for provenance): ultra-low-power tags with passive Van
+// Atta retro-reflective arrays piggyback uplink data on a 24 GHz access
+// point's carrier, reaching tens of Mb/s at a few nJ/bit.
+//
+// The package is a thin facade over the full substrate in internal/:
+// build a System, place Tags, then Run an inventory round or query link
+// budgets directly. Everything is deterministic under a seed.
+//
+//	sys, _ := mmtag.NewSystem(mmtag.SystemConfig{})
+//	sys.AddTag(mmtag.TagSpec{ID: 1, DistanceM: 3})
+//	report, _ := sys.Run(mmtag.RunConfig{Duration: 0.1})
+//	fmt.Println(report.GoodputBps)
+package mmtag
+
+import (
+	"fmt"
+	"io"
+
+	"mmtag/internal/ap"
+	"mmtag/internal/channel"
+	"mmtag/internal/mac"
+	"mmtag/internal/rfmath"
+	"mmtag/internal/sim"
+	"mmtag/internal/tag"
+	"mmtag/internal/trace"
+	"mmtag/internal/vanatta"
+)
+
+// SystemConfig configures an mmTag deployment. Zero values select the
+// reconstructed-testbed defaults (24 GHz, 20 dBm, 16-element AP array).
+type SystemConfig struct {
+	// FreqHz is the carrier frequency.
+	FreqHz float64
+	// TxPowerDBm is the AP transmit power.
+	TxPowerDBm float64
+	// APElements sizes the AP phased array.
+	APElements int
+	// NoiseFigureDB is the AP receiver noise figure.
+	NoiseFigureDB float64
+	// PathLossExponent selects a log-distance propagation model when
+	// nonzero (2.0 reproduces free space; indoor NLOS is 2.5-4).
+	PathLossExponent float64
+}
+
+// TagSpec places one tag in the deployment.
+type TagSpec struct {
+	// ID is the tag's 8-bit address (must be unique).
+	ID uint8
+	// Elements sizes the tag's Van Atta array (8 if zero).
+	Elements int
+	// Modulation names the backscatter alphabet: "ook" (default),
+	// "bpsk", "qpsk" or "16qam".
+	Modulation string
+	// DistanceM is the AP-tag range (required, > 0).
+	DistanceM float64
+	// AzimuthDeg is the tag's bearing from the AP broadside.
+	AzimuthDeg float64
+	// OrientationDeg is the incidence angle at the tag.
+	OrientationDeg float64
+	// SwitchRiseTimeNs bounds the tag's switching speed (2 ns if zero).
+	SwitchRiseTimeNs float64
+}
+
+// System is a configured deployment: one AP and its tags.
+type System struct {
+	cfg SystemConfig
+	net *sim.Network
+}
+
+// NewSystem builds a deployment.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	apCfg := ap.Config{
+		FreqHz:        cfg.FreqHz,
+		NoiseFigureDB: cfg.NoiseFigureDB,
+		ArrayElements: cfg.APElements,
+	}
+	if cfg.TxPowerDBm != 0 {
+		apCfg.TxPowerW = rfmath.FromDBm(cfg.TxPowerDBm)
+	}
+	a, err := ap.New(apCfg)
+	if err != nil {
+		return nil, err
+	}
+	var pl channel.PathLoss
+	if cfg.PathLossExponent != 0 {
+		pl = channel.NewLogDistance(a.Config().FreqHz, cfg.PathLossExponent)
+	}
+	net, err := sim.NewNetwork(a, pl)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, net: net}, nil
+}
+
+// AddTag places a tag per spec.
+func (s *System) AddTag(spec TagSpec) error {
+	if spec.Modulation == "" {
+		spec.Modulation = "ook"
+	}
+	set, err := vanatta.ByName(spec.Modulation)
+	if err != nil {
+		return err
+	}
+	elements := spec.Elements
+	if elements == 0 {
+		elements = 8
+	}
+	arr, err := vanatta.New(vanatta.Config{Elements: elements, InsertionLossDB: 1.5})
+	if err != nil {
+		return err
+	}
+	rise := spec.SwitchRiseTimeNs
+	if rise == 0 {
+		rise = 2
+	}
+	dev, err := tag.New(tag.Config{
+		ID:             spec.ID,
+		Array:          arr,
+		Modulation:     set,
+		SwitchRiseTime: rise * 1e-9,
+	})
+	if err != nil {
+		return err
+	}
+	return s.net.AddTag(sim.Placement{
+		Device:         dev,
+		DistanceM:      spec.DistanceM,
+		AzimuthRad:     sim.Deg(spec.AzimuthDeg),
+		OrientationRad: sim.Deg(spec.OrientationDeg),
+	})
+}
+
+// TagCount returns the number of placed tags.
+func (s *System) TagCount() int { return s.net.TagCount() }
+
+// LinkReport summarizes one tag's link budget.
+type LinkReport struct {
+	TagID        uint8
+	SNRdB        float64 // uplink SNR in a 10 MHz noise bandwidth
+	EchoPowerDBm float64
+	BestRate     string
+	GoodputMbps  float64
+}
+
+// Link returns the analytic uplink budget for a tag, with the rate the
+// link adaptation would choose.
+func (s *System) Link(id uint8) (*LinkReport, error) {
+	p, ok := s.net.Placement(id)
+	if !ok {
+		return nil, fmt.Errorf("mmtag: unknown tag %d", id)
+	}
+	snrDB, err := s.net.UplinkSNRdB(id, 10e6, 1)
+	if err != nil {
+		return nil, err
+	}
+	table := mac.DefaultRateTable()
+	rate, err := mac.PickRate(table, 0.01, 600, func(r mac.Rate) float64 {
+		snr, audible := s.net.SNR(id, p.AzimuthRad, r)
+		if !audible {
+			return 0
+		}
+		return snr
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Echo power back-computed from the SNR and the 10 MHz noise floor.
+	noise := rfmath.NoiseFloorDBm(10e6, s.net.AP.Config().NoiseFigureDB)
+	return &LinkReport{
+		TagID:        id,
+		SNRdB:        snrDB,
+		EchoPowerDBm: noise + snrDB,
+		BestRate:     rate.String(),
+		GoodputMbps:  rate.Goodput() / 1e6,
+	}, nil
+}
+
+// RunConfig parameterizes a Run.
+type RunConfig struct {
+	// Duration is the polling phase length in simulated seconds (1 s if
+	// zero).
+	Duration float64
+	// SDM enables space-division multiplexing across beam-separated
+	// tags.
+	SDM bool
+	// Seed drives all randomness (0 is a valid seed).
+	Seed int64
+	// Trace, when non-nil, receives a text event timeline (discoveries
+	// and polls) after the run completes.
+	Trace io.Writer
+}
+
+// Report is the outcome of a Run. It aliases the simulator's report;
+// see sim.InventoryReport for field documentation.
+type Report = sim.InventoryReport
+
+// Run performs discovery followed by TDMA/SDM polling and returns the
+// report.
+func (s *System) Run(cfg RunConfig) (*Report, error) {
+	var rec *trace.Recorder
+	if cfg.Trace != nil {
+		rec = trace.NewRecorder(100_000)
+	}
+	rep, err := sim.RunInventory(s.net, sim.InventoryConfig{
+		Duration: cfg.Duration,
+		SDM:      cfg.SDM,
+		Seed:     cfg.Seed,
+		Trace:    rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if _, werr := io.WriteString(cfg.Trace, rec.Render()); werr != nil {
+			return nil, werr
+		}
+	}
+	return rep, nil
+}
+
+// EnergyPerBit returns the tag energy per uplink bit (joules) at a bit
+// rate for a modulation name, using the calibrated node power model.
+func EnergyPerBit(bitRate float64, modulation string) (float64, error) {
+	set, err := vanatta.ByName(modulation)
+	if err != nil {
+		return 0, err
+	}
+	return tag.DefaultPowerModel().EnergyPerBitJ(bitRate, set.BitsPerSymbol()), nil
+}
+
+// MaxBitRate returns the switching-limited bit rate for a modulation
+// and a switch rise time in nanoseconds.
+func MaxBitRate(modulation string, riseTimeNs float64) (float64, error) {
+	set, err := vanatta.ByName(modulation)
+	if err != nil {
+		return 0, err
+	}
+	return vanatta.MaxSymbolRate(riseTimeNs*1e-9) * float64(set.BitsPerSymbol()), nil
+}

@@ -1,0 +1,160 @@
+package mmtag
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TagCount() != 0 {
+		t.Fatal("fresh system must be empty")
+	}
+}
+
+func TestAddTagValidation(t *testing.T) {
+	sys, _ := NewSystem(SystemConfig{})
+	if err := sys.AddTag(TagSpec{ID: 1}); err == nil {
+		t.Fatal("zero distance must error")
+	}
+	if err := sys.AddTag(TagSpec{ID: 1, DistanceM: 2, Modulation: "64apsk"}); err == nil {
+		t.Fatal("unknown modulation must error")
+	}
+	if err := sys.AddTag(TagSpec{ID: 1, DistanceM: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddTag(TagSpec{ID: 1, DistanceM: 3}); err == nil {
+		t.Fatal("duplicate ID must error")
+	}
+	if sys.TagCount() != 1 {
+		t.Fatal("count")
+	}
+}
+
+func TestLinkReport(t *testing.T) {
+	sys, _ := NewSystem(SystemConfig{})
+	sys.AddTag(TagSpec{ID: 1, DistanceM: 2})
+	sys.AddTag(TagSpec{ID: 2, DistanceM: 8})
+	near, err := sys.Link(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := sys.Link(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.SNRdB <= far.SNRdB {
+		t.Fatal("nearer tag must have higher SNR")
+	}
+	if near.GoodputMbps < far.GoodputMbps {
+		t.Fatal("nearer tag must not get a slower rate")
+	}
+	if near.BestRate == "" {
+		t.Fatal("rate name empty")
+	}
+	if _, err := sys.Link(99); err == nil {
+		t.Fatal("unknown tag must error")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, az := range []float64{-30, 0, 30} {
+		if err := sys.AddTag(TagSpec{ID: uint8(i + 1), DistanceM: 2.5, AzimuthDeg: az}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sys.Run(RunConfig{Duration: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Discovered != 3 {
+		t.Fatalf("discovered %d of 3", rep.Discovered)
+	}
+	if rep.GoodputBps <= 0 {
+		t.Fatal("no goodput")
+	}
+	// Determinism: same seed, same report numbers.
+	sys2, _ := NewSystem(SystemConfig{})
+	for i, az := range []float64{-30, 0, 30} {
+		sys2.AddTag(TagSpec{ID: uint8(i + 1), DistanceM: 2.5, AzimuthDeg: az})
+	}
+	rep2, err := sys2.Run(RunConfig{Duration: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoodputBps != rep2.GoodputBps || rep.FramesOK != rep2.FramesOK {
+		t.Fatal("runs with the same seed must be identical")
+	}
+}
+
+func TestRunEmitsTraceTimeline(t *testing.T) {
+	sys, _ := NewSystem(SystemConfig{})
+	sys.AddTag(TagSpec{ID: 1, DistanceM: 2})
+	var sb strings.Builder
+	rep, err := sys.Run(RunConfig{Duration: 0.005, Seed: 1, Trace: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "discover") || !strings.Contains(out, "poll") {
+		t.Fatalf("timeline missing events:\n%.300s", out)
+	}
+	if strings.Count(out, "poll") != rep.FramesOK+rep.FramesLost {
+		t.Fatal("timeline poll count must match report")
+	}
+}
+
+func TestPathLossExponentReducesRange(t *testing.T) {
+	free, _ := NewSystem(SystemConfig{})
+	lossy, _ := NewSystem(SystemConfig{PathLossExponent: 3})
+	free.AddTag(TagSpec{ID: 1, DistanceM: 6})
+	lossy.AddTag(TagSpec{ID: 1, DistanceM: 6})
+	f, _ := free.Link(1)
+	l, _ := lossy.Link(1)
+	if l.SNRdB >= f.SNRdB {
+		t.Fatal("steeper exponent must reduce SNR")
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	ook, err := EnergyPerBit(10e6, "ook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ook < 2.0e-9 || ook > 2.8e-9 {
+		t.Fatalf("OOK at 10 Mb/s %.3g J/bit, want ~2.4 nJ", ook)
+	}
+	qpsk, _ := EnergyPerBit(10e6, "qpsk")
+	if qpsk >= ook {
+		t.Fatal("QPSK must be at least as efficient per bit")
+	}
+	if _, err := EnergyPerBit(1e6, "nope"); err == nil {
+		t.Fatal("unknown modulation must error")
+	}
+}
+
+func TestMaxBitRate(t *testing.T) {
+	ook, err := MaxBitRate("ook", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpsk, _ := MaxBitRate("qpsk", 2)
+	if math.Abs(qpsk/ook-2) > 1e-9 {
+		t.Fatal("QPSK doubles the bit rate at a fixed symbol rate")
+	}
+	slower, _ := MaxBitRate("ook", 20)
+	if slower >= ook {
+		t.Fatal("slower switches must cap lower rates")
+	}
+	if _, err := MaxBitRate("nope", 2); err == nil {
+		t.Fatal("unknown modulation must error")
+	}
+}

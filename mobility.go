@@ -1,0 +1,70 @@
+package mmtag
+
+import (
+	"mmtag/internal/sim"
+)
+
+// MobileWaypoint anchors a moving tag's position at a time; the runner
+// interpolates linearly between waypoints.
+type MobileWaypoint struct {
+	TimeS          float64
+	DistanceM      float64
+	AzimuthDeg     float64
+	OrientationDeg float64
+}
+
+// BlockageSpec shadows the link by AttenuationDB (one-way) during
+// [StartS, EndS).
+type BlockageSpec struct {
+	StartS, EndS  float64
+	AttenuationDB float64
+}
+
+// MobilityConfig parameterizes RunMobile.
+type MobilityConfig struct {
+	// TagID selects which placed tag moves.
+	TagID uint8
+	// Waypoints is the trajectory (at least two, strictly increasing
+	// times).
+	Waypoints []MobileWaypoint
+	// Blockage lists shadowing episodes.
+	Blockage []BlockageSpec
+	// StepMs is the polling cadence in milliseconds (1 if zero).
+	StepMs float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// MobileReport aliases the simulator's mobility report; see
+// sim.MobileReport for field documentation.
+type MobileReport = sim.MobileReport
+
+// RunMobile drives one tag along a trajectory with beam tracking, link
+// adaptation and ARQ, reporting per-step outcomes. The tag keeps its
+// placed parameters until the run rewrites them from the trajectory.
+func (s *System) RunMobile(cfg MobilityConfig) (*MobileReport, error) {
+	tr := make([]sim.Waypoint, len(cfg.Waypoints))
+	for i, w := range cfg.Waypoints {
+		tr[i] = sim.Waypoint{
+			Time:           w.TimeS,
+			DistanceM:      w.DistanceM,
+			AzimuthRad:     sim.Deg(w.AzimuthDeg),
+			OrientationRad: sim.Deg(w.OrientationDeg),
+		}
+	}
+	bl := make([]sim.BlockageEvent, len(cfg.Blockage))
+	for i, b := range cfg.Blockage {
+		bl[i] = sim.BlockageEvent{Start: b.StartS, End: b.EndS, AttenuationDB: b.AttenuationDB}
+	}
+	step := cfg.StepMs
+	if step == 0 {
+		step = 1
+	}
+	return sim.RunMobile(s.net, sim.MobileConfig{
+		TagID:      cfg.TagID,
+		Trajectory: tr,
+		Blockage:   bl,
+		StepS:      step * 1e-3,
+		Seed:       cfg.Seed,
+	})
+}

@@ -1,0 +1,74 @@
+package mmtag
+
+import "testing"
+
+func TestRunMobilePublicAPI(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddTag(TagSpec{ID: 1, DistanceM: 2, Modulation: "qpsk"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunMobile(MobilityConfig{
+		TagID: 1,
+		Waypoints: []MobileWaypoint{
+			{TimeS: 0, DistanceM: 2},
+			{TimeS: 0.1, DistanceM: 9, AzimuthDeg: 15},
+		},
+		Blockage: []BlockageSpec{{StartS: 0.04, EndS: 0.06, AttenuationDB: 15}},
+		StepMs:   2,
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) < 40 {
+		t.Fatalf("samples %d", len(rep.Samples))
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	sawBlocked := false
+	for _, s := range rep.Samples {
+		if s.Blocked {
+			sawBlocked = true
+		}
+	}
+	if !sawBlocked {
+		t.Fatal("blockage episode not reflected in samples")
+	}
+	// Determinism through the facade.
+	sys2, _ := NewSystem(SystemConfig{})
+	sys2.AddTag(TagSpec{ID: 1, DistanceM: 2, Modulation: "qpsk"})
+	rep2, err := sys2.RunMobile(MobilityConfig{
+		TagID: 1,
+		Waypoints: []MobileWaypoint{
+			{TimeS: 0, DistanceM: 2},
+			{TimeS: 0.1, DistanceM: 9, AzimuthDeg: 15},
+		},
+		Blockage: []BlockageSpec{{StartS: 0.04, EndS: 0.06, AttenuationDB: 15}},
+		StepMs:   2,
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != rep2.Delivered || rep.Lost != rep2.Lost {
+		t.Fatal("mobility runs with equal seeds must match")
+	}
+}
+
+func TestRunMobilePublicValidation(t *testing.T) {
+	sys, _ := NewSystem(SystemConfig{})
+	sys.AddTag(TagSpec{ID: 1, DistanceM: 2})
+	if _, err := sys.RunMobile(MobilityConfig{TagID: 1}); err == nil {
+		t.Fatal("empty trajectory must error")
+	}
+	if _, err := sys.RunMobile(MobilityConfig{
+		TagID:     9,
+		Waypoints: []MobileWaypoint{{TimeS: 0, DistanceM: 2}, {TimeS: 1, DistanceM: 3}},
+	}); err == nil {
+		t.Fatal("unknown tag must error")
+	}
+}
