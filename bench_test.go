@@ -125,9 +125,8 @@ func BenchmarkT3EnergyCompare(b *testing.B) {
 	benchTable(b, eval.T3EnergyCompare)
 }
 
-// BenchmarkSystemRun measures a complete discovery + polling round on
-// an 8-tag deployment through the public API.
-func BenchmarkSystemRun(b *testing.B) {
+func benchSystemRun(b *testing.B, collectMetrics bool) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys, err := NewSystem(SystemConfig{})
@@ -143,12 +142,29 @@ func BenchmarkSystemRun(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		rep, err := sys.Run(RunConfig{Duration: 0.01, Seed: int64(i)})
+		rep, err := sys.Run(RunConfig{
+			Duration:       0.01,
+			Seed:           int64(i),
+			CollectMetrics: collectMetrics,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if rep.Discovered == 0 {
 			b.Fatal("no tags discovered")
 		}
+		if collectMetrics && rep.Metrics == nil {
+			b.Fatal("metered run must produce a snapshot")
+		}
 	}
 }
+
+// BenchmarkSystemRun measures a complete discovery + polling round on
+// an 8-tag deployment through the public API with observability off (the
+// nil-handle path — compare against BenchmarkSystemRunMetered to price
+// the instrumentation).
+func BenchmarkSystemRun(b *testing.B) { benchSystemRun(b, false) }
+
+// BenchmarkSystemRunMetered is the same round with metrics, spans and
+// the registry snapshot on.
+func BenchmarkSystemRunMetered(b *testing.B) { benchSystemRun(b, true) }

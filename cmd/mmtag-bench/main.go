@@ -7,16 +7,27 @@
 //	mmtag-bench -experiment E4      # one experiment
 //	mmtag-bench -csv -out results/  # write one CSV per experiment
 //	mmtag-bench -seed 7             # change the Monte-Carlo seed
+//	mmtag-bench -metrics bench.prom -pprof profiles/
+//
+// With -metrics the harness itself is metered: per-experiment wall time
+// and row counts land in a registry snapshot written in Prometheus text
+// format (or JSON when the path ends in .json). -pprof captures heap and
+// allocs profiles plus a GC summary after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"mmtag/internal/eval"
+	"mmtag/internal/obs"
 )
 
 func main() {
@@ -24,17 +35,25 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for Monte-Carlo experiments")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	out := flag.String("out", "", "directory to write per-experiment files (stdout if empty)")
+	metrics := flag.String("metrics", "", "write harness metrics (per-experiment wall time) to this file (- for stdout)")
+	pprofDir := flag.String("pprof", "", "write heap/allocs profiles and a GC summary to this directory")
 	flag.Parse()
 
-	tables, err := run(*experiment, *seed)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mmtag-bench: %v\n", err)
 		os.Exit(1)
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	tables, err := runMetered(*experiment, *seed, reg)
+	if err != nil {
+		fail(err)
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "mmtag-bench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	for _, t := range tables {
@@ -50,11 +69,121 @@ func main() {
 		}
 		path := filepath.Join(*out, fmt.Sprintf("%s.%s", strings.ToLower(t.ID), ext))
 		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mmtag-bench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metrics, os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *pprofDir != "" {
+		if err := writeProfiles(*pprofDir, os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// experimentIDs lists every experiment a metered "all" run times
+// individually, in report order (matches eval.AllTables).
+var experimentIDs = []string{
+	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+	"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+	"A1", "A2", "T2", "T3",
+}
+
+// runMetered runs the requested experiments, timing each into the
+// registry. With a nil registry it defers to the plain run path
+// (including the shared-testbed AllTables fast path for "all").
+func runMetered(id string, seed int64, reg *obs.Registry) ([]*eval.Table, error) {
+	if reg == nil {
+		return run(id, seed)
+	}
+	seconds := reg.HistogramVec("bench_experiment_seconds",
+		"Wall-clock cost of regenerating each evaluation table.",
+		obs.ExponentialBuckets(1e-4, 4, 12), "experiment")
+	rows := reg.CounterVec("bench_rows_total",
+		"Table rows produced per experiment.", "experiment")
+	total := reg.Counter("bench_experiments_total",
+		"Experiments executed by this bench invocation.")
+	ids := []string{id}
+	if strings.EqualFold(id, "all") {
+		ids = experimentIDs
+	}
+	var out []*eval.Table
+	for _, eid := range ids {
+		start := time.Now()
+		tables, err := run(eid, seed)
+		if err != nil {
+			return nil, err
+		}
+		seconds.With(eid).Observe(time.Since(start).Seconds())
+		total.Inc()
+		for _, t := range tables {
+			rows.With(eid).Add(float64(len(t.Rows)))
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}
+
+// writeMetrics renders the registry snapshot to path ("-" = w), as JSON
+// when the path ends in .json and Prometheus text otherwise.
+func writeMetrics(reg *obs.Registry, path string, w io.Writer) error {
+	var dst io.Writer = w
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	} else {
+		fmt.Fprintf(w, "metrics:\n")
+	}
+	var err error
+	if strings.ToLower(filepath.Ext(path)) == ".json" {
+		err = reg.WriteJSON(dst)
+	} else {
+		err = reg.WritePrometheus(dst)
+	}
+	if err == nil && path != "-" {
+		fmt.Fprintf(w, "wrote metrics to %s\n", path)
+	}
+	return err
+}
+
+// writeProfiles captures heap and allocs profiles plus a GC summary.
+func writeProfiles(dir string, w io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	runtime.GC() // settle the heap so the profile reflects the run
+	for _, name := range []string{"heap", "allocs"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, name+".pprof"))
+		if err != nil {
+			return err
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "runtime: %d GC cycles, %.3f ms total pause, %.2f MiB heap, %.2f MiB total alloc\n",
+		ms.NumGC, float64(ms.PauseTotalNs)/1e6,
+		float64(ms.HeapAlloc)/(1<<20), float64(ms.TotalAlloc)/(1<<20))
+	fmt.Fprintf(w, "wrote heap.pprof and allocs.pprof to %s\n", dir)
+	return nil
 }
 
 func run(id string, seed int64) ([]*eval.Table, error) {

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"mmtag/internal/obs"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -38,5 +42,41 @@ func TestRunE11ReturnsTwoTables(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := run("E99", 1); err == nil {
 		t.Fatal("unknown ID must error")
+	}
+}
+
+func TestRunMeteredRecordsHarnessMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tables, err := runMetered("E2", 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables %d, want 1", len(tables))
+	}
+	snap := reg.Snapshot()
+	byName := map[string]bool{}
+	for _, f := range snap.Families {
+		byName[f.Name] = true
+	}
+	for _, want := range []string{
+		"bench_experiment_seconds", "bench_rows_total", "bench_experiments_total",
+	} {
+		if !byName[want] {
+			t.Errorf("snapshot missing family %s", want)
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.prom")
+	if err := writeMetrics(reg, path, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), `bench_experiment_seconds_count{experiment="E2"} 1`) {
+		t.Errorf("metrics missing E2 timing:\n%.400s", text)
 	}
 }

@@ -5,7 +5,13 @@
 // Synthesize a capture of a tag frame and decode it back:
 //
 //	mmtag-capture -mode synth -payload "hello mmtag" -modulation qpsk -snr 20 -out cap.mmiq
-//	mmtag-capture -mode demod -in cap.mmiq
+//	mmtag-capture -mode demod -in cap.mmiq -trace demod.jsonl
+//
+// The -trace flag writes a structured JSONL event/span log of the
+// synth/demod pipeline — the same format cmd/mmtag-sim emits and
+// cmd/mmtag-trace analyzes. In demod mode -metrics meters the rx chain
+// (stage timings, sync score, EVM histograms) into a Prometheus text
+// file.
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 	"mmtag/internal/channel"
 	"mmtag/internal/frame"
 	"mmtag/internal/iq"
+	"mmtag/internal/obs"
 	"mmtag/internal/phy"
+	"mmtag/internal/trace"
 	"mmtag/internal/vanatta"
 )
 
@@ -46,21 +54,58 @@ func main() {
 	equalize := flag.Bool("equalize", false, "use the channel-sounding MMSE receiver (demod)")
 	out := flag.String("out", "", "output capture path (synth)")
 	in := flag.String("in", "", "input capture path (demod)")
+	traceOut := flag.String("trace", "", "write a JSONL event/span log of the pipeline to this file")
+	metrics := flag.String("metrics", "", "write demodulator metrics (Prometheus text) to this file (demod)")
 	flag.Parse()
 
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(0)
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
 	var err error
 	switch *mode {
 	case "synth":
-		err = doSynth(*payload, *modulation, *symbolRate, *sps, *snr, *riseNs, *coded, *seed, *out)
+		err = doSynth(*payload, *modulation, *symbolRate, *sps, *snr, *riseNs, *coded, *seed, *out, rec)
 	case "demod":
-		err = doDemod(*in, *equalize)
+		err = doDemod(*in, *equalize, rec, reg)
 	default:
 		err = fmt.Errorf("unknown mode %q (want synth or demod)", *mode)
+	}
+	if err == nil && rec != nil {
+		err = writeTrace(rec, *traceOut)
+	}
+	if err == nil && reg != nil {
+		err = writeMetrics(reg, *metrics)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmtag-capture: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics dumps the registry in Prometheus text exposition format.
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WritePrometheus(f)
+}
+
+// writeTrace dumps the recorder as JSON lines, matching mmtag-sim's
+// -trace output so cmd/mmtag-trace can analyze either.
+func writeTrace(rec *trace.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteJSONL(f)
 }
 
 // synthesize builds the on-air uplink waveform for one frame: preamble +
@@ -118,8 +163,9 @@ func synthesize(payload []byte, modulation string, symbolRate float64, sps int,
 
 // decode replays a capture through the AP demodulator using the
 // container's self-describing metadata. With equalize set it runs the
-// channel-sounding MMSE receiver instead of the one-tap pipeline.
-func decode(h iq.Header, samples []complex128, equalize bool) (*ap.UplinkResult, *captureMeta, error) {
+// channel-sounding MMSE receiver instead of the one-tap pipeline. A
+// non-nil registry meters the rx chain (rx_demod_ns, rx_stage_ns, ...).
+func decode(h iq.Header, samples []complex128, equalize bool, reg *obs.Registry) (*ap.UplinkResult, *captureMeta, error) {
 	var meta captureMeta
 	if err := json.Unmarshal([]byte(h.Meta), &meta); err != nil {
 		return nil, nil, fmt.Errorf("capture metadata: %w", err)
@@ -139,6 +185,9 @@ func decode(h iq.Header, samples []complex128, equalize bool) (*ap.UplinkResult,
 	if meta.SymbolRateHz <= 0 {
 		return nil, nil, fmt.Errorf("capture metadata: bad symbol rate %g", meta.SymbolRateHz)
 	}
+	if reg != nil {
+		dem.Instrument(reg)
+	}
 	sps := int(h.SampleRateHz/meta.SymbolRateHz + 0.5)
 	var res *ap.UplinkResult
 	if equalize {
@@ -150,20 +199,34 @@ func decode(h iq.Header, samples []complex128, equalize bool) (*ap.UplinkResult,
 }
 
 func doSynth(payload, modulation string, symbolRate float64, sps int,
-	snrDB, riseNs float64, coded bool, seed int64, out string) error {
+	snrDB, riseNs float64, coded bool, seed int64, out string, rec *trace.Recorder) error {
 	if out == "" {
 		return fmt.Errorf("synth mode needs -out")
 	}
+	var spans *obs.Spans // nil when untraced: Start/End no-op
+	if rec != nil {
+		spans = obs.NewSpans(rec, nil, nil)
+	}
+	sp := spans.Start("synthesize", 1)
 	h, wave, err := synthesize([]byte(payload), modulation, symbolRate, sps, snrDB, riseNs, coded, seed)
+	sp.End()
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		rec.Emit(trace.Event{Kind: trace.KindCustom, Tag: 1,
+			Detail: fmt.Sprintf("synthesized %d samples (%s, coded=%v, snr=%g dB)",
+				len(wave), modulation, coded, snrDB)})
 	}
 	fp, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	defer fp.Close()
-	if err := iq.Write(fp, h, wave); err != nil {
+	sp = spans.Start("write-capture", 1)
+	err = iq.Write(fp, h, wave)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d samples @ %.0f MS/s (%s, %g Msym/s, coded=%v)\n",
@@ -171,7 +234,7 @@ func doSynth(payload, modulation string, symbolRate float64, sps int,
 	return nil
 }
 
-func doDemod(in string, equalize bool) error {
+func doDemod(in string, equalize bool, rec *trace.Recorder, reg *obs.Registry) error {
 	if in == "" {
 		return fmt.Errorf("demod mode needs -in")
 	}
@@ -180,13 +243,25 @@ func doDemod(in string, equalize bool) error {
 		return err
 	}
 	defer fp.Close()
+	var spans *obs.Spans // nil when untraced: Start/End no-op
+	if rec != nil {
+		spans = obs.NewSpans(rec, nil, nil)
+	}
+	sp := spans.Start("read-capture", 0)
 	h, samples, err := iq.Read(fp)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	res, meta, err := decode(h, samples, equalize)
+	sp = spans.Start("demodulate", 0)
+	res, meta, err := decode(h, samples, equalize, reg)
+	sp.End()
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		rec.Emit(trace.Event{Kind: trace.KindCustom,
+			Detail: fmt.Sprintf("demod ok=%v sync=%.3f@%d evm=%.4f", res.OK(), res.SyncScore, res.SyncSymbol, res.EVM)})
 	}
 	fmt.Printf("capture: %d samples @ %.0f MS/s, %s @ %g Msym/s\n",
 		len(samples), h.SampleRateHz/1e6, meta.Modulation, meta.SymbolRateHz/1e6)

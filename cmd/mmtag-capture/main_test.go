@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
 	"mmtag/internal/iq"
+	"mmtag/internal/obs"
+	"mmtag/internal/trace"
 )
 
 func TestSynthDecodeRoundTrip(t *testing.T) {
@@ -25,7 +28,7 @@ func TestSynthDecodeRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, meta, err := decode(h2, wave2, false)
+			res, meta, err := decode(h2, wave2, false, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,7 +51,7 @@ func TestSynthCodedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := decode(h, wave, false)
+	res, _, err := decode(h, wave, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,15 +71,15 @@ func TestSynthValidation(t *testing.T) {
 
 func TestDecodeRejectsBadMetadata(t *testing.T) {
 	h := iq.Header{SampleRateHz: 80e6, Meta: "not json"}
-	if _, _, err := decode(h, make([]complex128, 100), false); err == nil {
+	if _, _, err := decode(h, make([]complex128, 100), false, nil); err == nil {
 		t.Fatal("bad metadata must error")
 	}
 	h.Meta = `{"modulation":"ook","symbol_rate_hz":0,"preamble_len":63}`
-	if _, _, err := decode(h, make([]complex128, 100), false); err == nil {
+	if _, _, err := decode(h, make([]complex128, 100), false, nil); err == nil {
 		t.Fatal("zero symbol rate must error")
 	}
 	h.Meta = `{"modulation":"nope","symbol_rate_hz":1,"preamble_len":63}`
-	if _, _, err := decode(h, nil, false); err == nil {
+	if _, _, err := decode(h, nil, false, nil); err == nil {
 		t.Fatal("unknown modulation in metadata must error")
 	}
 }
@@ -86,7 +89,7 @@ func TestDecodeEqualizedPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := decode(h, wave, true)
+	res, _, err := decode(h, wave, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +103,7 @@ func TestDecodeLowSNRFailsGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := decode(h, wave, false)
+	res, _, err := decode(h, wave, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,22 +118,99 @@ func TestDecodeLowSNRFailsGracefully(t *testing.T) {
 func TestDoSynthDemodFiles(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/cap.mmiq"
-	if err := doSynth("file path payload", "qpsk", 10e6, 8, 25, 2, false, 1, path); err != nil {
+	if err := doSynth("file path payload", "qpsk", 10e6, 8, 25, 2, false, 1, path, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := doDemod(path, false); err != nil {
+	if err := doDemod(path, false, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := doSynth("x", "qpsk", 10e6, 8, 25, 2, false, 1, ""); err == nil {
+	if err := doSynth("x", "qpsk", 10e6, 8, 25, 2, false, 1, "", nil); err == nil {
 		t.Fatal("missing -out must error")
 	}
-	if err := doDemod("", false); err == nil {
+	if err := doDemod("", false, nil, nil); err == nil {
 		t.Fatal("missing -in must error")
 	}
-	if err := doDemod(dir+"/missing.mmiq", false); err == nil {
+	if err := doDemod(dir+"/missing.mmiq", false, nil, nil); err == nil {
 		t.Fatal("missing file must error")
 	}
 	if !strings.HasSuffix(path, ".mmiq") {
 		t.Fatal("sanity")
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	capPath := dir + "/cap.mmiq"
+	tracePath := dir + "/demod.jsonl"
+
+	rec := trace.NewRecorder(0)
+	if err := doSynth("traced payload", "qpsk", 10e6, 8, 25, 2, false, 1, capPath, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := doDemod(capPath, false, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTrace(rec, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]bool{}
+	var customs int
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindSpan:
+			spans[e.Span] = true
+			if e.WallNs <= 0 {
+				t.Errorf("span %s has non-positive wall duration", e.Span)
+			}
+		case trace.KindCustom:
+			customs++
+		}
+	}
+	for _, want := range []string{"synthesize", "write-capture", "read-capture", "demodulate"} {
+		if !spans[want] {
+			t.Errorf("trace missing span %q; got %v", want, spans)
+		}
+	}
+	if customs < 2 {
+		t.Errorf("want synth + demod custom events, got %d", customs)
+	}
+}
+
+func TestDemodMetricsOutput(t *testing.T) {
+	dir := t.TempDir()
+	capPath := dir + "/cap.mmiq"
+	metricsPath := dir + "/rx.prom"
+	if err := doSynth("metered payload", "qpsk", 10e6, 8, 25, 2, false, 1, capPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if err := doDemod(capPath, false, nil, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMetrics(reg, metricsPath); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"rx_demod_ns", "rx_stage_ns", "rx_frames_total", "rx_sync_score", "rx_evm",
+	} {
+		if !strings.Contains(string(text), "# TYPE "+family) {
+			t.Errorf("rx metrics missing family %s:\n%.400s", family, text)
+		}
+	}
+	if !strings.Contains(string(text), `rx_frames_total{ok="true"} 1`) {
+		t.Errorf("rx metrics missing decode outcome:\n%s", text)
 	}
 }

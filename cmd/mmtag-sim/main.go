@@ -7,6 +7,15 @@
 //
 //	mmtag-sim -tags 8 -duration 0.5 -sdm
 //	mmtag-sim -tags 16 -spread 10 -exponent 2.5 -seed 3
+//	mmtag-sim -tags 8 -metrics - -trace run.jsonl
+//	mmtag-sim -tags 8 -metrics run.json -pprof profiles/
+//
+// With -metrics the run is metered by the observability layer and the
+// final snapshot is written in Prometheus text exposition format (or
+// JSON when the path ends in .json, or -metrics-format says so). The
+// -trace flag writes the structured event/span log: JSON lines when the
+// path ends in .jsonl or .json (the format cmd/mmtag-trace analyzes),
+// a human-readable timeline otherwise.
 package main
 
 import (
@@ -15,97 +24,143 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
+	"time"
 
 	"mmtag"
 )
 
-// traceWriter, when set by -trace, receives the event timeline.
-var traceWriter io.Writer
+// options collects the CLI parameters run needs.
+type options struct {
+	tags          int
+	duration      float64
+	spread        float64
+	sector        float64
+	exponent      float64
+	modulation    string
+	sdm           bool
+	seed          int64
+	trace         string // event log path ("" = off)
+	metrics       string // metrics path ("" = off, "-" = stdout)
+	metricsFormat string // auto, text or json
+	pprofDir      string // profile directory ("" = off)
+	out           io.Writer
+}
 
 func main() {
-	nTags := flag.Int("tags", 8, "number of tags to place")
-	duration := flag.Float64("duration", 0.2, "polling phase duration, simulated seconds")
-	spread := flag.Float64("spread", 6, "maximum tag distance in metres (minimum 1.5)")
-	sector := flag.Float64("sector", 55, "placement sector half-angle, degrees")
-	exponent := flag.Float64("exponent", 0, "log-distance path-loss exponent (0 = free space)")
-	modulation := flag.String("modulation", "ook", "tag alphabet: ook, bpsk, qpsk, 16qam")
-	sdm := flag.Bool("sdm", false, "enable space-division multiplexing")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	traceOut := flag.String("trace", "", "write an event timeline to this file")
+	var o options
+	flag.IntVar(&o.tags, "tags", 8, "number of tags to place")
+	flag.Float64Var(&o.duration, "duration", 0.2, "polling phase duration, simulated seconds")
+	flag.Float64Var(&o.spread, "spread", 6, "maximum tag distance in metres (minimum 1.5)")
+	flag.Float64Var(&o.sector, "sector", 55, "placement sector half-angle, degrees")
+	flag.Float64Var(&o.exponent, "exponent", 0, "log-distance path-loss exponent (0 = free space)")
+	flag.StringVar(&o.modulation, "modulation", "ook", "tag alphabet: ook, bpsk, qpsk, 16qam")
+	flag.BoolVar(&o.sdm, "sdm", false, "enable space-division multiplexing")
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&o.trace, "trace", "", "write the event/span log to this file (JSONL when it ends in .jsonl/.json)")
+	flag.StringVar(&o.metrics, "metrics", "", "write the run's metrics snapshot to this file (- for stdout)")
+	flag.StringVar(&o.metricsFormat, "metrics-format", "auto", "metrics format: auto, text (Prometheus) or json")
+	flag.StringVar(&o.pprofDir, "pprof", "", "write heap/allocs profiles and a GC summary to this directory")
 	flag.Parse()
+	o.out = os.Stdout
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmtag-sim: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		traceWriter = f
-	}
-	if err := run(*nTags, *duration, *spread, *sector, *exponent, *modulation, *sdm, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "mmtag-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nTags int, duration, spread, sector, exponent float64, modulation string, sdm bool, seed int64) error {
-	if nTags < 1 || nTags > 255 {
-		return fmt.Errorf("tags must be in [1,255], got %d", nTags)
+func run(o options) error {
+	if o.tags < 1 || o.tags > 255 {
+		return fmt.Errorf("tags must be in [1,255], got %d", o.tags)
 	}
-	sys, err := mmtag.NewSystem(mmtag.SystemConfig{PathLossExponent: exponent})
+	switch o.metricsFormat {
+	case "auto", "text", "json":
+	default:
+		return fmt.Errorf("metrics-format must be auto, text or json, got %q", o.metricsFormat)
+	}
+	if o.out == nil {
+		o.out = os.Stdout
+	}
+	sys, err := mmtag.NewSystem(mmtag.SystemConfig{PathLossExponent: o.exponent})
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < nTags; i++ {
-		az := -sector + 2*sector*float64(i)/float64(max(nTags-1, 1))
-		d := 1.5 + rng.Float64()*(spread-1.5)
+	rng := rand.New(rand.NewSource(o.seed))
+	for i := 0; i < o.tags; i++ {
+		az := -o.sector + 2*o.sector*float64(i)/float64(max(o.tags-1, 1))
+		d := 1.5 + rng.Float64()*(o.spread-1.5)
 		if err := sys.AddTag(mmtag.TagSpec{
 			ID:         uint8(i + 1),
 			DistanceM:  d,
 			AzimuthDeg: az,
-			Modulation: modulation,
+			Modulation: o.modulation,
 		}); err != nil {
 			return err
 		}
 	}
 
-	fmt.Printf("mmtag-sim: %d tags, duration %.3gs, modulation %s, sdm=%v, seed %d\n\n",
-		nTags, duration, modulation, sdm, seed)
+	fmt.Fprintf(o.out, "mmtag-sim: %d tags, duration %.3gs, modulation %s, sdm=%v, seed %d\n\n",
+		o.tags, o.duration, o.modulation, o.sdm, o.seed)
 
 	// Per-tag link budgets before running.
-	fmt.Println("link budgets:")
-	for i := 1; i <= nTags; i++ {
+	fmt.Fprintln(o.out, "link budgets:")
+	for i := 1; i <= o.tags; i++ {
 		lr, err := sys.Link(uint8(i))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  tag %3d: SNR %6.1f dB  echo %7.1f dBm  best rate %-14s (%.1f Mb/s)\n",
+		fmt.Fprintf(o.out, "  tag %3d: SNR %6.1f dB  echo %7.1f dBm  best rate %-14s (%.1f Mb/s)\n",
 			lr.TagID, lr.SNRdB, lr.EchoPowerDBm, lr.BestRate, lr.GoodputMbps)
 	}
 
-	rep, err := sys.Run(mmtag.RunConfig{Duration: duration, SDM: sdm, Seed: seed, Trace: traceWriter})
+	runCfg := mmtag.RunConfig{
+		Duration:       o.duration,
+		SDM:            o.sdm,
+		Seed:           o.seed,
+		CollectMetrics: o.metrics != "",
+	}
+	var traceFile *os.File
+	if o.trace != "" {
+		traceFile, err = os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		if traceIsJSONL(o.trace) {
+			runCfg.TraceJSONL = traceFile
+		} else {
+			runCfg.Trace = traceFile
+		}
+	}
+
+	wallStart := time.Now()
+	rep, err := sys.Run(runCfg)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(wallStart)
 
-	fmt.Printf("\nresults:\n")
-	fmt.Printf("  discovered        %d / %d tags in %.2f ms (%d probes, %d collisions)\n",
+	fmt.Fprintf(o.out, "\nresults:\n")
+	fmt.Fprintf(o.out, "  discovered        %d / %d tags in %.2f ms (%d probes, %d collisions)\n",
 		rep.Discovered, rep.TotalTags, rep.DiscoveryTime*1e3,
 		rep.MACStats.ProbesSent, rep.MACStats.Collisions)
-	fmt.Printf("  poll cycles       %d\n", rep.PollCycles)
-	fmt.Printf("  frames            %d ok, %d lost (%d retransmissions)\n",
+	fmt.Fprintf(o.out, "  poll cycles       %d\n", rep.PollCycles)
+	fmt.Fprintf(o.out, "  frames            %d ok, %d lost (%d retransmissions)\n",
 		rep.FramesOK, rep.FramesLost, rep.MACStats.Retransmissions)
-	fmt.Printf("  aggregate goodput %.2f Mb/s", rep.GoodputBps/1e6)
-	if sdm {
-		fmt.Printf("  (%d SDM groups)", rep.SDMGroups)
+	fmt.Fprintf(o.out, "  aggregate goodput %.2f Mb/s", rep.GoodputBps/1e6)
+	if o.sdm {
+		fmt.Fprintf(o.out, "  (%d SDM groups)", rep.SDMGroups)
 	}
-	fmt.Println()
+	fmt.Fprintln(o.out)
 	if rep.EnergyPerBitJ > 0 {
-		fmt.Printf("  tag energy        %.2f nJ/bit\n", rep.EnergyPerBitJ*1e9)
+		fmt.Fprintf(o.out, "  tag energy        %.2f nJ/bit\n", rep.EnergyPerBitJ*1e9)
 	}
+	fmt.Fprintf(o.out, "  wall clock        %s\n", wall)
 
 	// Per-tag energy, sorted by ID.
 	ids := make([]int, 0, len(rep.EnergyPerTagJ))
@@ -113,10 +168,96 @@ func run(nTags int, duration, spread, sector, exponent float64, modulation strin
 		ids = append(ids, int(id))
 	}
 	sort.Ints(ids)
-	fmt.Println("\nper-tag energy:")
+	fmt.Fprintln(o.out, "\nper-tag energy:")
 	for _, id := range ids {
-		fmt.Printf("  tag %3d: %8.1f uJ\n", id, rep.EnergyPerTagJ[uint8(id)]*1e6)
+		fmt.Fprintf(o.out, "  tag %3d: %8.1f uJ\n", id, rep.EnergyPerTagJ[uint8(id)]*1e6)
 	}
+
+	if o.metrics != "" {
+		if err := writeMetrics(rep.Metrics, o.metrics, o.metricsFormat, o.out); err != nil {
+			return err
+		}
+	}
+	if o.pprofDir != "" {
+		if err := writeProfiles(o.pprofDir, o.out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceIsJSONL picks the machine format for .jsonl/.json trace paths.
+func traceIsJSONL(path string) bool {
+	ext := strings.ToLower(filepath.Ext(path))
+	return ext == ".jsonl" || ext == ".json"
+}
+
+// writeMetrics renders the snapshot to path ("-" = w) in the requested
+// format ("auto" keys off the path extension, defaulting to Prometheus
+// text).
+func writeMetrics(snap *mmtag.MetricsSnapshot, path, format string, w io.Writer) error {
+	if snap == nil {
+		return fmt.Errorf("no metrics collected")
+	}
+	if format == "auto" {
+		if strings.ToLower(filepath.Ext(path)) == ".json" {
+			format = "json"
+		} else {
+			format = "text"
+		}
+	}
+	var dst io.Writer = w
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	} else {
+		fmt.Fprintf(w, "\nmetrics:\n")
+	}
+	var err error
+	if format == "json" {
+		err = snap.WriteJSON(dst)
+	} else {
+		err = snap.WritePrometheus(dst)
+	}
+	if err == nil && path != "-" {
+		fmt.Fprintf(w, "\nwrote metrics to %s (%s)\n", path, format)
+	}
+	return err
+}
+
+// writeProfiles captures heap and allocs profiles plus a GC summary.
+func writeProfiles(dir string, w io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	runtime.GC() // settle the heap so the profile reflects the run
+	for _, name := range []string{"heap", "allocs"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, name+".pprof"))
+		if err != nil {
+			return err
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "\nruntime: %d GC cycles, %.3f ms total pause, %.2f MiB heap, %.2f MiB total alloc\n",
+		ms.NumGC, float64(ms.PauseTotalNs)/1e6,
+		float64(ms.HeapAlloc)/(1<<20), float64(ms.TotalAlloc)/(1<<20))
+	fmt.Fprintf(w, "wrote heap.pprof and allocs.pprof to %s\n", dir)
 	return nil
 }
 

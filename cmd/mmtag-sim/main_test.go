@@ -1,26 +1,180 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmtag/internal/trace"
+)
+
+func baseOptions() options {
+	return options{
+		tags:          4,
+		duration:      0.02,
+		spread:        5,
+		sector:        45,
+		modulation:    "ook",
+		seed:          1,
+		metricsFormat: "auto",
+		out:           &bytes.Buffer{},
+	}
+}
 
 func TestRunSimulation(t *testing.T) {
 	// A small end-to-end run through the CLI's core path.
-	if err := run(4, 0.02, 5, 45, 0, "ook", false, 1); err != nil {
+	if err := run(baseOptions()); err != nil {
 		t.Fatal(err)
 	}
 	// SDM + qpsk + log-distance variant.
-	if err := run(6, 0.02, 5, 45, 2.2, "qpsk", true, 2); err != nil {
+	o := baseOptions()
+	o.tags = 6
+	o.exponent = 2.2
+	o.modulation = "qpsk"
+	o.sdm = true
+	o.seed = 2
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(0, 0.01, 5, 45, 0, "ook", false, 1); err == nil {
+	o := baseOptions()
+	o.tags = 0
+	if err := run(o); err == nil {
 		t.Fatal("zero tags must error")
 	}
-	if err := run(300, 0.01, 5, 45, 0, "ook", false, 1); err == nil {
+	o = baseOptions()
+	o.tags = 300
+	if err := run(o); err == nil {
 		t.Fatal("too many tags must error")
 	}
-	if err := run(2, 0.01, 5, 45, 0, "64apsk", false, 1); err == nil {
+	o = baseOptions()
+	o.modulation = "64apsk"
+	if err := run(o); err == nil {
 		t.Fatal("unknown modulation must error")
+	}
+	o = baseOptions()
+	o.metricsFormat = "yaml"
+	if err := run(o); err == nil {
+		t.Fatal("unknown metrics format must error")
+	}
+}
+
+func TestRunMetricsOutputs(t *testing.T) {
+	dir := t.TempDir()
+
+	// Prometheus text to a file.
+	o := baseOptions()
+	o.metrics = filepath.Join(dir, "metrics.prom")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"mac_polls_total", "sim_frames_total", "phy_snr_db", "stage_wall_seconds",
+	} {
+		if !strings.Contains(string(text), "# TYPE "+family) {
+			t.Errorf("Prometheus output missing family %s", family)
+		}
+	}
+
+	// JSON by extension.
+	o = baseOptions()
+	o.metrics = filepath.Join(dir, "metrics.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	js, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"name": "mac_polls_total"`) {
+		t.Errorf("JSON output missing mac_polls_total:\n%.400s", js)
+	}
+
+	// Stdout path.
+	o = baseOptions()
+	o.metrics = "-"
+	buf := &bytes.Buffer{}
+	o.out = buf
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE sim_goodput_bps gauge") {
+		t.Errorf("stdout metrics missing goodput gauge:\n%.400s", buf.String())
+	}
+}
+
+func TestRunTraceFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	// JSONL by extension, parseable by the trace package.
+	o := baseOptions()
+	o.trace = filepath.Join(dir, "run.jsonl")
+	o.metrics = filepath.Join(dir, "m.prom") // metrics on -> span events too
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(o.trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var polls, spans int
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindPoll:
+			polls++
+		case trace.KindSpan:
+			spans++
+		}
+	}
+	if polls == 0 {
+		t.Error("JSONL trace has no poll events")
+	}
+	if spans == 0 {
+		t.Error("JSONL trace has no span events")
+	}
+
+	// Text timeline otherwise.
+	o = baseOptions()
+	o.trace = filepath.Join(dir, "run.txt")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(o.trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "poll") {
+		t.Errorf("text trace missing poll lines:\n%.400s", text)
+	}
+}
+
+func TestRunPprofCapture(t *testing.T) {
+	dir := t.TempDir()
+	o := baseOptions()
+	o.pprofDir = filepath.Join(dir, "profiles")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"heap.pprof", "allocs.pprof"} {
+		st, err := os.Stat(filepath.Join(o.pprofDir, name))
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
 	}
 }

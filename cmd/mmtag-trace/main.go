@@ -1,0 +1,309 @@
+// Command mmtag-trace analyzes the JSONL event/span logs that
+// cmd/mmtag-sim -trace and cmd/mmtag-capture -trace write: per-tag
+// timelines, poll-success and rate-change summaries, span aggregates and
+// stage-duration histogram tables.
+//
+// Usage:
+//
+//	mmtag-trace run.jsonl                    # summary (default mode)
+//	mmtag-trace -mode timeline -tag 3 run.jsonl
+//	mmtag-trace -mode spans run.jsonl
+//	mmtag-trace -mode hist run.jsonl
+//
+// Reads stdin when the path is "-" or absent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mmtag/internal/trace"
+)
+
+func main() {
+	mode := flag.String("mode", "summary", "summary, timeline, spans or hist")
+	tag := flag.Int("tag", 0, "restrict timeline output to one tag ID (0 = all)")
+	flag.Parse()
+
+	path := "-"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+	events, err := load(path)
+	if err == nil {
+		err = analyze(events, *mode, uint8(*tag), os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmtag-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// load reads a JSONL event log from path ("-" = stdin).
+func load(path string) ([]trace.Event, error) {
+	var rd io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rd = f
+	}
+	return trace.ReadJSONL(rd)
+}
+
+func analyze(events []trace.Event, mode string, tag uint8, w io.Writer) error {
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	switch mode {
+	case "summary":
+		summarize(events, w)
+	case "timeline":
+		timeline(events, tag, w)
+	case "spans":
+		spansReport(events, w)
+	case "hist":
+		histReport(events, w)
+	default:
+		return fmt.Errorf("unknown mode %q (want summary, timeline, spans or hist)", mode)
+	}
+	return nil
+}
+
+// dropped sums the dropped-event counts from KindMeta trailers.
+func dropped(events []trace.Event) int {
+	n := 0
+	for _, e := range events {
+		if e.Kind == trace.KindMeta {
+			n += e.Dropped
+		}
+	}
+	return n
+}
+
+// sortedTags returns the ascending tag IDs present in a per-tag map.
+func sortedTags[V any](m map[uint8]V) []uint8 {
+	ids := make([]uint8, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// summarize prints event counts per kind, per-tag poll success and
+// rate-change histories, flagging incomplete captures.
+func summarize(events []trace.Event, w io.Writer) {
+	counts := make(map[trace.Kind]int)
+	type pollStat struct{ ok, fail int }
+	polls := make(map[uint8]*pollStat)
+	type rateStat struct {
+		changes int
+		last    string
+	}
+	rates := make(map[uint8]*rateStat)
+	var t0, t1 float64 = math.Inf(1), math.Inf(-1)
+	for _, e := range events {
+		counts[e.Kind]++
+		t0 = math.Min(t0, e.T)
+		t1 = math.Max(t1, e.T)
+		switch e.Kind {
+		case trace.KindPoll:
+			p := polls[e.Tag]
+			if p == nil {
+				p = &pollStat{}
+				polls[e.Tag] = p
+			}
+			if e.OK {
+				p.ok++
+			} else {
+				p.fail++
+			}
+		case trace.KindRateChange:
+			r := rates[e.Tag]
+			if r == nil {
+				r = &rateStat{}
+				rates[e.Tag] = r
+			}
+			r.changes++
+			r.last = e.Detail
+		}
+	}
+
+	fmt.Fprintf(w, "trace: %d events spanning %.6fs - %.6fs\n", len(events), t0, t1)
+	if d := dropped(events); d > 0 {
+		fmt.Fprintf(w, "WARNING: capture incomplete, %d events dropped at the recorder bound\n", d)
+	}
+	fmt.Fprintln(w, "\nevents by kind:")
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-12s %6d\n", k, counts[trace.Kind(k)])
+	}
+
+	if len(polls) > 0 {
+		fmt.Fprintln(w, "\npolls per tag:")
+		for _, id := range sortedTags(polls) {
+			p := polls[id]
+			total := p.ok + p.fail
+			fmt.Fprintf(w, "  tag %3d: %5d ok %5d lost  (%.1f%% success)\n",
+				id, p.ok, p.fail, 100*float64(p.ok)/float64(total))
+		}
+	}
+	if len(rates) > 0 {
+		fmt.Fprintln(w, "\nrate changes per tag:")
+		for _, id := range sortedTags(rates) {
+			r := rates[id]
+			fmt.Fprintf(w, "  tag %3d: %3d changes, last %s\n", id, r.changes, r.last)
+		}
+	}
+}
+
+// timeline prints one line per event in time order, optionally filtered
+// to a tag (spans and meta lines always show; 0 keeps everything).
+func timeline(events []trace.Event, tag uint8, w io.Writer) {
+	sorted := make([]trace.Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	for _, e := range sorted {
+		if tag != 0 && e.Tag != 0 && e.Tag != tag {
+			continue
+		}
+		fmt.Fprintf(w, "%10.6fs  %-12s", e.T, e.Kind)
+		if e.Tag != 0 {
+			fmt.Fprintf(w, " tag=%-3d", e.Tag)
+		}
+		if e.Span != "" {
+			fmt.Fprintf(w, " %s%s dur=%.6fs wall=%s",
+				strings.Repeat("  ", e.Depth), e.Span, e.Dur, time.Duration(e.WallNs))
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(w, " %s", e.Detail)
+		}
+		if e.Kind == trace.KindPoll {
+			fmt.Fprintf(w, " ok=%v", e.OK)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// spanAgg accumulates one span name's durations.
+type spanAgg struct {
+	name             string
+	count            int
+	wallTotal        time.Duration
+	wallMin, wallMax time.Duration
+	simTotal, simMax float64
+}
+
+// aggregate folds span events into per-name aggregates, sorted by total
+// wall time descending.
+func aggregate(events []trace.Event) []*spanAgg {
+	byName := make(map[string]*spanAgg)
+	for _, e := range events {
+		if e.Kind != trace.KindSpan {
+			continue
+		}
+		a := byName[e.Span]
+		if a == nil {
+			a = &spanAgg{name: e.Span, wallMin: math.MaxInt64}
+			byName[e.Span] = a
+		}
+		wall := time.Duration(e.WallNs)
+		a.count++
+		a.wallTotal += wall
+		a.wallMin = min(a.wallMin, wall)
+		a.wallMax = max(a.wallMax, wall)
+		a.simTotal += e.Dur
+		a.simMax = math.Max(a.simMax, e.Dur)
+	}
+	out := make([]*spanAgg, 0, len(byName))
+	for _, a := range byName {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].wallTotal != out[j].wallTotal {
+			return out[i].wallTotal > out[j].wallTotal
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// spansReport prints per-stage wall and simulated-time aggregates.
+func spansReport(events []trace.Event, w io.Writer) {
+	aggs := aggregate(events)
+	if len(aggs) == 0 {
+		fmt.Fprintln(w, "no span events (run the producer with metrics/tracing on)")
+		return
+	}
+	fmt.Fprintf(w, "%-16s %7s %12s %12s %12s %12s %12s\n",
+		"span", "count", "wall total", "wall mean", "wall min", "wall max", "sim total")
+	for _, a := range aggs {
+		fmt.Fprintf(w, "%-16s %7d %12s %12s %12s %12s %11.6fs\n",
+			a.name, a.count, a.wallTotal, a.wallTotal/time.Duration(a.count),
+			a.wallMin, a.wallMax, a.simTotal)
+	}
+}
+
+// histBounds are the wall-duration bucket upper bounds for histReport.
+var histBounds = []time.Duration{
+	time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	time.Second,
+}
+
+// histReport prints a wall-duration histogram table per span name.
+func histReport(events []trace.Event, w io.Writer) {
+	byName := make(map[string][]time.Duration)
+	for _, e := range events {
+		if e.Kind == trace.KindSpan {
+			byName[e.Span] = append(byName[e.Span], time.Duration(e.WallNs))
+		}
+	}
+	if len(byName) == 0 {
+		fmt.Fprintln(w, "no span events (run the producer with metrics/tracing on)")
+		return
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		durs := byName[n]
+		counts := make([]int, len(histBounds)+1)
+		for _, d := range durs {
+			i := sort.Search(len(histBounds), func(i int) bool { return d <= histBounds[i] })
+			counts[i]++
+		}
+		peak := 0
+		for _, c := range counts {
+			peak = max(peak, c)
+		}
+		fmt.Fprintf(w, "%s (%d spans, wall-clock):\n", n, len(durs))
+		for i, c := range counts {
+			label := "+Inf"
+			if i < len(histBounds) {
+				label = histBounds[i].String()
+			}
+			bar := ""
+			if peak > 0 {
+				bar = strings.Repeat("#", c*40/peak)
+			}
+			fmt.Fprintf(w, "  <= %-8s %6d %s\n", label, c, bar)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmtag"
+	"mmtag/internal/trace"
+)
+
+// sampleEvents is a hand-built log covering every analyzer code path.
+func sampleEvents() []trace.Event {
+	return []trace.Event{
+		{T: 0, Kind: trace.KindSpan, Span: "discovery", Dur: 0.002, WallNs: 150_000},
+		{T: 0.0001, Kind: trace.KindProbe, Detail: "beam 12"},
+		{T: 0.0005, Kind: trace.KindDiscover, Tag: 1},
+		{T: 0.001, Kind: trace.KindDiscover, Tag: 2},
+		{T: 0.002, Kind: trace.KindPoll, Tag: 1, OK: true},
+		{T: 0.003, Kind: trace.KindPoll, Tag: 1, OK: true},
+		{T: 0.004, Kind: trace.KindPoll, Tag: 2, OK: false},
+		{T: 0.004, Kind: trace.KindRateChange, Tag: 2, Detail: "qpsk-1/2 -> bpsk-1/2"},
+		{T: 0.005, Kind: trace.KindPoll, Tag: 2, OK: true},
+		{T: 0.002, Kind: trace.KindSpan, Span: "poll-phase", Dur: 0.004, WallNs: 900_000},
+		{T: 0.006, Kind: trace.KindMeta, Detail: "recorder bound reached; events dropped", Dropped: 7},
+	}
+}
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	for _, e := range sampleEvents() {
+		rec.Emit(e)
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rec.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummaryMode(t *testing.T) {
+	events, err := load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analyze(events, "summary", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"7 events dropped",
+		"tag   1:     2 ok     0 lost  (100.0% success)",
+		"tag   2:     1 ok     1 lost  (50.0% success)",
+		"tag   2:   1 changes, last qpsk-1/2 -> bpsk-1/2",
+		"poll              4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineMode(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := analyze(events, "timeline", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Errorf("unfiltered timeline has %d lines, want %d", n, len(events))
+	}
+
+	buf.Reset()
+	if err := analyze(events, "timeline", 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "tag=1") {
+		t.Errorf("tag filter leaked tag 1 events:\n%s", out)
+	}
+	// Untagged events (probes, spans, meta) stay visible under a filter.
+	for _, want := range []string{"tag=2", "probe", "discovery", "poll-phase"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("filtered timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpansMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analyze(sampleEvents(), "spans", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 span names
+		t.Fatalf("spans table has %d lines:\n%s", len(lines), out)
+	}
+	// poll-phase has the larger wall total, so it sorts first.
+	if !strings.HasPrefix(lines[1], "poll-phase") || !strings.HasPrefix(lines[2], "discovery") {
+		t.Errorf("spans not sorted by wall total:\n%s", out)
+	}
+	if !strings.Contains(out, "900µs") {
+		t.Errorf("spans table missing poll-phase wall time:\n%s", out)
+	}
+}
+
+func TestHistMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analyze(sampleEvents(), "hist", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"discovery (1 spans, wall-clock):",
+		"poll-phase (1 spans, wall-clock):",
+		"<= 1ms           1",
+		"<= +Inf          0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hist missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if err := analyze(nil, "summary", 0, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	if err := analyze(sampleEvents(), "yaml", 0, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}
+
+// TestEndToEndFromSimRun feeds a real metered simulation's JSONL trace
+// through every analyzer mode — the advertised mmtag-sim | mmtag-trace
+// workflow.
+func TestEndToEndFromSimRun(t *testing.T) {
+	sys, err := mmtag.NewSystem(mmtag.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := sys.AddTag(mmtag.TagSpec{ID: uint8(i), DistanceM: 2 + float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var jsonl bytes.Buffer
+	if _, err := sys.Run(mmtag.RunConfig{
+		Duration:       0.02,
+		TraceJSONL:     &jsonl,
+		CollectMetrics: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"summary", "timeline", "spans", "hist"} {
+		var buf bytes.Buffer
+		if err := analyze(events, mode, 0, &buf); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", mode)
+		}
+	}
+	var buf bytes.Buffer
+	if err := analyze(events, "summary", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"polls per tag:", "span"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("sim summary missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	"mmtag/internal/dsp"
 	"mmtag/internal/frame"
+	"mmtag/internal/obs"
 	"mmtag/internal/phy"
 )
 
@@ -40,6 +42,69 @@ type Demodulator struct {
 	preamblePts   []complex128 // alphabet points of the preamble bits
 	centredPre    []complex128 // mean-removed preamble for correlation
 	opts          frame.Options
+	m             *demodMetrics // nil when uninstrumented
+}
+
+// demodMetrics meters the waveform-level receive pipeline.
+type demodMetrics struct {
+	total     *obs.Histogram    // rx_demod_ns: whole-pipeline wall time
+	stages    *obs.HistogramVec // rx_stage_ns{stage}: sync/equalize/decode
+	frames    *obs.CounterVec   // rx_frames_total{ok}
+	syncScore *obs.Histogram    // rx_sync_score
+	evm       *obs.Histogram    // rx_evm
+}
+
+// Instrument meters this demodulator's pipeline into reg: per-call and
+// per-stage wall-clock histograms, decode outcomes, sync-score and EVM
+// distributions. A nil registry leaves the demodulator uninstrumented.
+func (d *Demodulator) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	nsBuckets := obs.ExponentialBuckets(100, 4, 12)
+	d.m = &demodMetrics{
+		total: reg.Histogram("rx_demod_ns",
+			"Wall-clock cost of one demodulation pass (ns).", nsBuckets),
+		stages: reg.HistogramVec("rx_stage_ns",
+			"Wall-clock cost of each receive stage (ns).", nsBuckets, "stage"),
+		frames: reg.CounterVec("rx_frames_total",
+			"Demodulated frames by decode outcome.", "ok"),
+		syncScore: reg.Histogram("rx_sync_score",
+			"Preamble correlation quality in [0,1].",
+			obs.LinearBuckets(0.1, 0.1, 10)),
+		evm: reg.Histogram("rx_evm",
+			"Post-equalization error vector magnitude.",
+			obs.ExponentialBuckets(0.01, 2, 10)),
+	}
+}
+
+// observeResult records the outcome-side instruments for one pass.
+func (m *demodMetrics) observeResult(res *UplinkResult, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.total.Observe(float64(time.Since(start).Nanoseconds()))
+	m.frames.With(obs.OK(res.OK())).Inc()
+	m.syncScore.Observe(res.SyncScore)
+	if res.Frame != nil {
+		m.evm.Observe(res.EVM)
+	}
+}
+
+// observeStage records one stage's wall time.
+func (m *demodMetrics) observeStage(stage string, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.stages.With(stage).Observe(float64(time.Since(start).Nanoseconds()))
+}
+
+// now avoids the time.Now() call entirely when uninstrumented.
+func (m *demodMetrics) now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // NewDemodulator builds a demodulator for the given tag alphabet,
@@ -112,6 +177,8 @@ func integrateAndDump(x []complex128, sps int) []complex128 {
 // frame decode. sps is the receiver's samples per symbol.
 func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 	res := &UplinkResult{SyncSymbol: -1}
+	start := d.m.now()
+	defer func() { d.m.observeResult(res, start) }()
 	if sps < 2 || len(rx) < sps*(len(d.preambleBits)+8) {
 		res.Err = fmt.Errorf("ap: waveform too short for demodulation")
 		return res
@@ -130,6 +197,7 @@ func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 			bestSyms = syms
 		}
 	}
+	d.m.observeStage("sync", start)
 	res.SyncScore = bestScore
 	if bestLag < 0 || bestScore < 0.5 {
 		res.Err = fmt.Errorf("ap: preamble not found (best score %.2f)", bestScore)
@@ -139,6 +207,7 @@ func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 
 	// Joint least-squares estimate of (gain a, offset b) from the known
 	// preamble: rx = a*p + b.
+	eqStart := d.m.now()
 	pre := bestSyms[bestLag : bestLag+len(d.preamblePts)]
 	a, b, err := fitGainOffset(pre, d.preamblePts)
 	if err != nil {
@@ -155,7 +224,10 @@ func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 		eq[i] = (v - b) * inv
 	}
 	res.EVM = d.constellation.EVM(eq)
+	d.m.observeStage("equalize", eqStart)
+	decStart := d.m.now()
 	f, err := d.decide(eq)
+	d.m.observeStage("fec-decode", decStart)
 	if err != nil {
 		res.Err = err
 		return res
@@ -199,6 +271,8 @@ func (d *Demodulator) decide(eq []complex128) (*frame.Frame, error) {
 // pipeline loses.
 func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps int) *UplinkResult {
 	res := &UplinkResult{SyncSymbol: -1}
+	start := d.m.now()
+	defer func() { d.m.observeResult(res, start) }()
 	if maxChannelTaps < 1 {
 		res.Err = fmt.Errorf("ap: maxChannelTaps must be >= 1")
 		return res
@@ -239,6 +313,7 @@ func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps i
 			bestSyms, bestH, bestB = syms, h, b
 		}
 	}
+	d.m.observeStage("sync", start)
 	res.SyncScore = bestScore
 	if bestLag < 0 {
 		res.Err = fmt.Errorf("ap: preamble not found")
@@ -247,6 +322,7 @@ func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps i
 	res.SyncSymbol = bestLag
 	h, b := bestH, bestB
 	res.Gain, res.Offset = h[0], b
+	eqStart := d.m.now()
 	stream := make([]complex128, len(bestSyms)-bestLag)
 	for i := range stream {
 		stream[i] = bestSyms[bestLag+i] - b
@@ -266,9 +342,12 @@ func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps i
 	eq := phy.Equalize(stream, w, delay)
 	data := eq[len(d.preamblePts):]
 	res.EVM = d.constellation.EVM(data)
+	d.m.observeStage("equalize", eqStart)
+	decStart := d.m.now()
 	symIdx := d.constellation.Slice(nil, data)
 	bits := d.constellation.UnmapBits(nil, symIdx)
 	f, _, err := frame.DecodeBits(bits, d.opts)
+	d.m.observeStage("fec-decode", decStart)
 	if err != nil {
 		res.Err = err
 		return res

@@ -160,6 +160,8 @@ type Link struct {
 	// offset, so it cannot be removed by the reader's DC/offset
 	// estimation and degrades the link like noise.
 	InterferenceW float64
+	// Obs, when non-nil, meters SNR evaluations (see LinkObs).
+	Obs *LinkObs
 }
 
 // Validate reports configuration errors.
@@ -232,7 +234,9 @@ func (l *Link) SNR(bandwidthHz float64) (float64, error) {
 	}
 	noise := rfmath.ThermalNoisePower(rfmath.RoomTemperatureK, bandwidthHz) *
 		rfmath.FromDB(l.NoiseFigureDB)
-	return pr / (noise + l.InterferenceW), nil
+	snr := pr / (noise + l.InterferenceW)
+	l.Obs.observe(snr)
+	return snr, nil
 }
 
 // SNRdB returns SNR in decibels.

@@ -2,10 +2,12 @@ package mac
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"mmtag/internal/frame"
+	"mmtag/internal/obs"
 )
 
 // Medium is the MAC's view of the radio: it answers link-quality
@@ -45,6 +47,10 @@ type StationConfig struct {
 	// PollPayloadBytes is the uplink payload each poll solicits (64
 	// default).
 	PollPayloadBytes int
+	// Obs, when non-nil with a registry attached, meters MAC activity
+	// (polls, retries, contention, per-tag SNR). Nil keeps the hot path
+	// allocation-free.
+	Obs *obs.Handle
 }
 
 func (c StationConfig) withDefaults() StationConfig {
@@ -97,9 +103,56 @@ type Station struct {
 	medium Medium
 	rng    *rand.Rand
 	known  map[uint8]*TagRecord
+	m      *stationMetrics // nil when uninstrumented
 
 	// Stats accumulates counters across operations.
 	Stats Stats
+}
+
+// stationMetrics holds the pre-resolved registry instruments; a nil
+// *stationMetrics means observability is off and call sites skip the
+// label plumbing entirely.
+type stationMetrics struct {
+	polls      *obs.CounterVec // mac_polls_total{tag,ok}
+	retries    *obs.CounterVec // mac_retransmissions_total{tag}
+	rates      *obs.CounterVec // mac_rate_selected_total{tag,rate}
+	probes     *obs.Counter    // mac_probes_total
+	slots      *obs.Counter    // mac_discovery_slots_total
+	collisions *obs.Counter    // mac_collisions_total
+	discovered *obs.Counter    // mac_discovered_total
+	airtime    *obs.Counter    // mac_airtime_seconds_total
+	pollAir    *obs.Histogram  // mac_poll_airtime_seconds
+	snr        *obs.HistogramVec
+}
+
+func newStationMetrics(reg *obs.Registry) *stationMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &stationMetrics{
+		polls: reg.CounterVec("mac_polls_total",
+			"Polls issued, by tag and delivery outcome.", "tag", "ok"),
+		retries: reg.CounterVec("mac_retransmissions_total",
+			"ARQ retransmissions, by tag.", "tag"),
+		rates: reg.CounterVec("mac_rate_selected_total",
+			"Link-adaptation rate selections, by tag and rate.", "tag", "rate"),
+		probes: reg.Counter("mac_probes_total",
+			"Discovery probes transmitted."),
+		slots: reg.Counter("mac_discovery_slots_total",
+			"Slotted-ALOHA contention slots elapsed during discovery."),
+		collisions: reg.Counter("mac_collisions_total",
+			"Discovery responses lost to slot collisions."),
+		discovered: reg.Counter("mac_discovered_total",
+			"Tags newly discovered."),
+		airtime: reg.Counter("mac_airtime_seconds_total",
+			"Uplink air time accumulated across polls."),
+		pollAir: reg.Histogram("mac_poll_airtime_seconds",
+			"Per-poll uplink air time including retransmissions.",
+			obs.ExponentialBuckets(1e-6, 4, 10)),
+		snr: reg.HistogramVec("phy_snr_db",
+			"Uplink SNR measured at the selected rate, by tag (dB).",
+			obs.LinearBuckets(-10, 5, 14), "tag"),
+	}
 }
 
 // Stats counts MAC-level events.
@@ -132,6 +185,7 @@ func NewStation(cfg StationConfig, medium Medium, rng *rand.Rand) (*Station, err
 		medium: medium,
 		rng:    rng,
 		known:  make(map[uint8]*TagRecord),
+		m:      newStationMetrics(cfg.Obs.Registry()),
 	}, nil
 }
 
@@ -160,9 +214,14 @@ func (s *Station) probeAirBits() int {
 // inventories).
 func (s *Station) Discover() int {
 	found := 0
+	sp := s.cfg.Obs.StartSpan("beam-sweep", 0)
+	defer sp.End()
 	for _, beam := range s.cfg.Beams {
 		for round := 0; round < s.cfg.DiscoveryRounds; round++ {
 			s.Stats.ProbesSent++
+			if s.m != nil {
+				s.m.probes.Inc()
+			}
 			// Which unknown tags hear this probe and would respond?
 			var responders []uint8
 			var snrs []float64
@@ -192,9 +251,15 @@ func (s *Station) Discover() int {
 				slots[slot] = append(slots[slot], i)
 			}
 			s.Stats.DiscoverySlots += s.cfg.ContentionSlots
+			if s.m != nil {
+				s.m.slots.Add(float64(s.cfg.ContentionSlots))
+			}
 			for _, idxs := range slots {
 				if len(idxs) > 1 {
 					s.Stats.Collisions += len(idxs)
+					if s.m != nil {
+						s.m.collisions.Add(float64(len(idxs)))
+					}
 					continue
 				}
 				i := idxs[0]
@@ -202,6 +267,9 @@ func (s *Station) Discover() int {
 				s.refineBeam(rec)
 				s.known[responders[i]] = rec
 				found++
+				if s.m != nil {
+					s.m.discovered.Inc()
+				}
 			}
 		}
 	}
@@ -242,6 +310,9 @@ type PollResult struct {
 	Delivered bool
 	Bits      int
 	AirTime   float64
+	// SNRdB is the uplink SNR measured on the last transmission attempt
+	// at the selected rate (-inf when the tag was inaudible).
+	SNRdB float64
 }
 
 // Poll solicits one uplink frame from a known tag with link adaptation
@@ -262,13 +333,14 @@ func (s *Station) Poll(id uint8) (PollResult, error) {
 	if err != nil {
 		return PollResult{}, err
 	}
-	res := PollResult{TagID: id, Rate: rate}
+	res := PollResult{TagID: id, Rate: rate, SNRdB: math.Inf(-1)}
 	airBits = frame.AirBits(s.cfg.PollPayloadBytes, frame.Options{Coded: rate.Coded})
 	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
 		res.Attempts++
 		res.AirTime += float64(airBits) / rate.BitRate
 		snr, audible := s.medium.SNR(id, rec.BeamRad, rate)
 		if audible {
+			res.SNRdB = 10 * math.Log10(snr)
 			per := rate.FramePER(snr, airBits)
 			if s.rng.Float64() >= per {
 				res.Delivered = true
@@ -287,6 +359,19 @@ func (s *Station) Poll(id uint8) (PollResult, error) {
 		s.Stats.FramesLost++
 	}
 	s.Stats.AirTimeSeconds += res.AirTime
+	if s.m != nil {
+		tagLabel := obs.U8(id)
+		s.m.polls.With(tagLabel, obs.OK(res.Delivered)).Inc()
+		s.m.rates.With(tagLabel, rate.String()).Inc()
+		if res.Attempts > 1 {
+			s.m.retries.With(tagLabel).Add(float64(res.Attempts - 1))
+		}
+		s.m.airtime.Add(res.AirTime)
+		s.m.pollAir.Observe(res.AirTime)
+		if !math.IsInf(res.SNRdB, -1) {
+			s.m.snr.With(tagLabel).Observe(res.SNRdB)
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,31 @@
+package obs
+
+import "strconv"
+
+// Pre-rendered small-integer strings so hot paths can build tag-ID
+// labels without allocating, whether or not metrics are enabled.
+var smallInts [256]string
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = strconv.Itoa(i)
+	}
+}
+
+// U8 returns the decimal string for an 8-bit value without allocating —
+// the natural label for tag IDs.
+func U8(v uint8) string { return smallInts[v] }
+
+// Label values for boolean outcomes.
+const (
+	LabelOK   = "true"
+	LabelFail = "false"
+)
+
+// OK maps a success flag to its label value without allocating.
+func OK(ok bool) string {
+	if ok {
+		return LabelOK
+	}
+	return LabelFail
+}

@@ -1,0 +1,543 @@
+// Package obs is the simulator's observability layer: a dependency-free
+// concurrent metrics registry (counters, gauges, fixed-bucket histograms
+// with labeled families) that snapshots to Prometheus text exposition and
+// JSON, plus a span/timer API layered on internal/trace that records
+// hierarchical wall-clock and simulated-time stage durations.
+//
+// Every instrument is nil-safe: methods on nil receivers no-op without
+// allocating, so hot paths can hold a possibly-nil *Handle and stay
+// allocation-free when observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind classifies a family.
+type MetricKind string
+
+// Family kinds, matching the Prometheus TYPE names.
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// Registry is a concurrent collection of metric families. The zero value
+// is not usable; call NewRegistry. A nil *Registry is a valid "off"
+// registry: every constructor returns nil instruments whose methods
+// no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric family with a fixed label schema.
+type family struct {
+	name    string
+	help    string
+	kind    MetricKind
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending; nil otherwise
+
+	mu       sync.RWMutex
+	children map[string]*metric
+}
+
+// metric is one child of a family (a unique label-value combination).
+type metric struct {
+	fam         *family
+	labelValues []string
+
+	// bits holds the float64 value of counters and gauges.
+	bits atomic.Uint64
+	// Histogram state: per-bucket counts (one extra for +Inf), total
+	// count and sum-of-observations bits.
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns (creating if needed) the named family. Re-registering
+// with a conflicting kind or label schema panics: that is a programming
+// error, not a runtime condition.
+func (r *Registry) family(name, help string, kind MetricKind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v",
+					name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*metric),
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return f
+}
+
+// child returns (creating if needed) the metric for the label values.
+func (f *family) child(values []string) *metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok = f.children[key]; ok {
+		return m
+	}
+	m = &metric{fam: f, labelValues: append([]string(nil), values...)}
+	if f.kind == KindHistogram {
+		m.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.children[key] = m
+	return m
+}
+
+// addFloat atomically adds v to the metric's float64 bits.
+func (m *metric) addFloat(v float64) {
+	for {
+		old := m.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if m.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value. Nil counters no-op.
+type Counter struct{ m *metric }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v (negative deltas are ignored).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.m.addFloat(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.m.bits.Load())
+}
+
+// Gauge is a value that can move both ways. Nil gauges no-op.
+type Gauge struct{ m *metric }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.m.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.m.addFloat(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.m.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Nil histograms no-op.
+type Histogram struct{ m *metric }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	buckets := h.m.fam.buckets
+	idx := sort.SearchFloat64s(buckets, v)
+	// SearchFloat64s returns the first i with buckets[i] >= v, which is
+	// exactly the le-bucket; everything past the last bound lands in +Inf.
+	h.m.counts[idx].Add(1)
+	h.m.count.Add(1)
+	for {
+		old := h.m.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.m.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.m.count.Load()
+}
+
+// CounterVec is a labeled counter family. Nil vecs return nil counters.
+type CounterVec struct{ fam *family }
+
+// With resolves the child for the label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return &Counter{m: v.fam.child(values)}
+}
+
+// GaugeVec is a labeled gauge family. Nil vecs return nil gauges.
+type GaugeVec struct{ fam *family }
+
+// With resolves the child for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return &Gauge{m: v.fam.child(values)}
+}
+
+// HistogramVec is a labeled histogram family. Nil vecs return nil
+// histograms.
+type HistogramVec struct{ fam *family }
+
+// With resolves the child for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return &Histogram{m: v.fam.child(values)}
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{m: r.family(name, help, KindCounter, nil, nil).child(nil)}
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.family(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{m: r.family(name, help, KindGauge, nil, nil).child(nil)}
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.family(name, help, KindGauge, nil, labels)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram over the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &Histogram{m: r.family(name, help, KindHistogram, buckets, nil).child(nil)}
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{fam: r.family(name, help, KindHistogram, buckets, labels)}
+}
+
+// LinearBuckets returns count bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds starting at start (> 0), each
+// factor (> 1) times the previous.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 {
+		panic("obs: exponential buckets need start > 0 and factor > 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered
+// deterministically (families by name, children by label values), ready
+// for JSON marshaling or Prometheus text rendering.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one family in a Snapshot.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    MetricKind       `json:"kind"`
+	Labels  []string         `json:"labels,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one child in a FamilySnapshot.
+type MetricSnapshot struct {
+	LabelValues []string `json:"label_values,omitempty"`
+	// Value carries counter/gauge values.
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one histogram bucket: the cumulative count of observations
+// with value <= LE (math.Inf(1) for the overflow bucket).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders +Inf as the string "+Inf" (JSON has no infinity).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = formatFloat(b.LE)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON accepts the MarshalJSON form.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.LE = math.Inf(1)
+	} else {
+		if _, err := fmt.Sscanf(raw.LE, "%g", &b.LE); err != nil {
+			return fmt.Errorf("obs: bad bucket bound %q: %w", raw.LE, err)
+		}
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind,
+			Labels: append([]string(nil), f.labels...),
+		}
+		f.mu.RLock()
+		children := make([]*metric, 0, len(f.children))
+		for _, m := range f.children {
+			children = append(children, m)
+		}
+		f.mu.RUnlock()
+		sort.Slice(children, func(i, j int) bool {
+			a, b := children[i].labelValues, children[j].labelValues
+			for k := range a {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return false
+		})
+		for _, m := range children {
+			ms := MetricSnapshot{LabelValues: append([]string(nil), m.labelValues...)}
+			if f.kind == KindHistogram {
+				ms.Count = m.count.Load()
+				ms.Sum = math.Float64frombits(m.sumBits.Load())
+				cum := uint64(0)
+				for i := range m.counts {
+					cum += m.counts[i].Load()
+					le := math.Inf(1)
+					if i < len(f.buckets) {
+						le = f.buckets[i]
+					}
+					ms.Buckets = append(ms.Buckets, Bucket{LE: le, Count: cum})
+				}
+			} else {
+				ms.Value = math.Float64frombits(m.bits.Load())
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range s.Families {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, m := range f.Metrics {
+			switch f.Kind {
+			case KindHistogram:
+				for _, bk := range m.Buckets {
+					le := "+Inf"
+					if !math.IsInf(bk.LE, 1) {
+						le = formatFloat(bk.LE)
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.Name, labelString(f.Labels, m.LabelValues, "le", le), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n",
+					f.Name, labelString(f.Labels, m.LabelValues, "", ""), formatFloat(m.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n",
+					f.Name, labelString(f.Labels, m.LabelValues, "", ""), m.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n",
+					f.Name, labelString(f.Labels, m.LabelValues, "", ""), formatFloat(m.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus renders the registry's current state; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.Snapshot().WritePrometheus(w) }
+
+// WriteJSON renders the registry's current state as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(w) }
+
+// labelString renders {k="v",...}, appending one extra pair when extraK
+// is non-empty; it returns "" for an empty label set.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		// %q escapes backslash, quote and newline exactly as the
+		// Prometheus text format requires.
+		fmt.Fprintf(&b, "%s=%q", n, v)
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest
+// round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

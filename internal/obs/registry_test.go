@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_total", "Frames.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // negative deltas are ignored
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter %g, want 3", got)
+	}
+	g := r.Gauge("sim_time", "Now.")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge %g, want 1", got)
+	}
+	// Re-registering the same family returns the same metric.
+	if r.Counter("frames_total", "Frames.").Value() != 3 {
+		t.Fatal("re-registration must share state")
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	polls := r.CounterVec("polls_total", "Polls.", "tag", "ok")
+	polls.With("1", "true").Add(4)
+	polls.With("1", "false").Inc()
+	polls.With("2", "true").Inc()
+	if got := polls.With("1", "true").Value(); got != 4 {
+		t.Fatalf("child value %g, want 4", got)
+	}
+	gv := r.GaugeVec("depth", "Depth.", "stage")
+	gv.With("rx").Set(7)
+	if got := gv.With("rx").Value(); got != 7 {
+		t.Fatalf("gauge child %g, want 7", got)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d, want 6", h.Count())
+	}
+	snap := r.Snapshot()
+	m := snap.Families[0].Metrics[0]
+	// Cumulative: <=1 gets 0.5 and 1; <=10 adds 1.5 and 10; <=100 adds 99;
+	// +Inf adds 1000.
+	want := []uint64{2, 4, 5, 6}
+	for i, b := range m.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d count %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(m.Buckets[3].LE, 1) {
+		t.Error("last bucket must be +Inf")
+	}
+	if m.Sum != 0.5+1+1.5+10+99+1000 {
+		t.Errorf("sum %g", m.Sum)
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := r.Gauge("y", "")
+	g.Set(5)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	h := r.Histogram("z", "", LinearBuckets(0, 1, 3))
+	h.Observe(2)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	r.CounterVec("cv", "", "l").With("v").Inc()
+	r.GaugeVec("gv", "", "l").With("v").Set(1)
+	r.HistogramVec("hv", "", nil, "l").With("v").Observe(1)
+	if snap := r.Snapshot(); len(snap.Families) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestNilHandlePathAllocationFree(t *testing.T) {
+	var h *Handle
+	var c *Counter
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.StartSpan("stage", 1).End()
+		h.Registry()
+		h.Spans()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-handle path allocates %.1f per op", allocs)
+	}
+}
+
+func TestReRegistrationConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.CounterVec("v", "", "a")
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("kind conflict", func() { r.Gauge("m", "") })
+	mustPanic("label arity", func() { r.CounterVec("m", "", "tag") })
+	mustPanic("label names", func() { r.CounterVec("v", "", "b") })
+	mustPanic("value arity", func() { r.CounterVec("v", "", "a").With("1", "2") })
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(-10, 5, 4)
+	if want := []float64{-10, -5, 0, 5}; !equalFloats(lin, want) {
+		t.Fatalf("linear %v, want %v", lin, want)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if want := []float64{1, 10, 100}; !equalFloats(exp, want) {
+		t.Fatalf("exponential %v, want %v", exp, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad exponential params must panic")
+		}
+	}()
+	ExponentialBuckets(0, 2, 3)
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// goldenRegistry builds the fixture registry the exposition tests share.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	polls := r.CounterVec("mac_polls_total", "Polls issued per tag and outcome.", "tag", "ok")
+	polls.With("1", "true").Add(12)
+	polls.With("1", "false").Add(3)
+	polls.With("2", "true").Add(7)
+	r.Gauge("sim_goodput_bps", "Aggregate goodput.").Set(42.5e6)
+	snr := r.Histogram("phy_snr_db", "Per-poll SNR.", []float64{0, 10, 20})
+	for _, v := range []float64{-3, 8.5, 15, 25, 11} {
+		snr.Observe(v)
+	}
+	esc := r.CounterVec("quirk_total", "Labels with \"quotes\" and \\slashes.", "path")
+	esc.With(`C:\tags\"odd"` + "\n").Inc()
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.prom")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus exposition drifted from %s.\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 4 {
+		t.Fatalf("families %d, want 4", len(snap.Families))
+	}
+	// Families are sorted by name; phy_snr_db is second.
+	h := snap.Families[1]
+	if h.Name != "phy_snr_db" || h.Kind != KindHistogram {
+		t.Fatalf("family order: %+v", h)
+	}
+	last := h.Metrics[0].Buckets[3]
+	if !math.IsInf(last.LE, 1) || last.Count != 5 {
+		t.Fatalf("+Inf bucket %+v", last)
+	}
+}
+
+// TestConcurrentRegistry drives every instrument type from parallel
+// goroutines while snapshots run — this is the test the race detector
+// exercises.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExponentialBuckets(1, 2, 8))
+	cv := r.CounterVec("cv_total", "", "tag")
+	hv := r.HistogramVec("hv", "", LinearBuckets(0, 10, 5), "tag")
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tag := U8(uint8(w + 1))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 100))
+				cv.With(tag).Inc()
+				hv.With(tag).Observe(float64(i % 50))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = r.Snapshot()
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const n = workers * iters
+	if got := c.Value(); got != n {
+		t.Errorf("counter %g, want %d", got, n)
+	}
+	if got := g.Value(); got != n {
+		t.Errorf("gauge %g, want %d", got, n)
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("histogram count %d, want %d", got, n)
+	}
+	for w := 0; w < workers; w++ {
+		if got := cv.With(U8(uint8(w + 1))).Value(); got != iters {
+			t.Errorf("cv[%d] %g, want %d", w+1, got, iters)
+		}
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	if U8(0) != "0" || U8(17) != "17" || U8(255) != "255" {
+		t.Fatal("U8 table broken")
+	}
+	if OK(true) != "true" || OK(false) != "false" {
+		t.Fatal("OK strings broken")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = U8(200)
+		_ = OK(true)
+	})
+	if allocs != 0 {
+		t.Fatalf("label helpers allocate %.1f per op", allocs)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"mmtag/internal/trace"
+)
+
+func TestSpanEmitsEventAndHistograms(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	reg := NewRegistry()
+	now := 1.0
+	s := NewSpans(rec, func() float64 { return now }, reg)
+
+	outer := s.Start("discovery", 0)
+	now = 1.5
+	inner := s.Start("beam-sweep", 3)
+	now = 2.0
+	inner.End()
+	outer.End()
+
+	events := rec.Events()
+	if len(events) != 2 {
+		t.Fatalf("events %d, want 2", len(events))
+	}
+	// Children end first.
+	in, out := events[0], events[1]
+	if in.Span != "beam-sweep" || in.Tag != 3 || in.Depth != 1 {
+		t.Fatalf("inner span %+v", in)
+	}
+	if in.T != 1.5 || in.Dur != 0.5 {
+		t.Fatalf("inner sim times %+v", in)
+	}
+	if out.Span != "discovery" || out.Depth != 0 || out.Dur != 1.0 {
+		t.Fatalf("outer span %+v", out)
+	}
+	if in.WallNs <= 0 || out.WallNs < in.WallNs {
+		t.Fatalf("wall times inner=%d outer=%d", in.WallNs, out.WallNs)
+	}
+
+	snap := reg.Snapshot()
+	found := 0
+	for _, f := range snap.Families {
+		if f.Name == "stage_wall_seconds" || f.Name == "stage_sim_seconds" {
+			found++
+			if len(f.Metrics) != 2 { // two stage names
+				t.Errorf("%s children %d, want 2", f.Name, len(f.Metrics))
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatal("stage histograms not registered")
+	}
+}
+
+func TestSpanSetClock(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	s := NewSpans(rec, nil, nil)
+	now := 5.0
+	s.SetClock(func() float64 { return now })
+	sp := s.Start("run", 0)
+	now = 7.5
+	sp.End()
+	e := rec.Events()[0]
+	if e.T != 5.0 || e.Dur != 2.5 {
+		t.Fatalf("rebound clock not used: %+v", e)
+	}
+	// Nil tracker and nil clock are both no-ops.
+	var nilSpans *Spans
+	nilSpans.SetClock(func() float64 { return 0 })
+	s.SetClock(nil)
+}
+
+func TestNilSpansAndHandle(t *testing.T) {
+	var s *Spans
+	s.Start("x", 1).End() // must not panic
+
+	var h *Handle
+	h.StartSpan("y", 2).End()
+	if h.Registry() != nil || h.Spans() != nil {
+		t.Fatal("nil handle parts must be nil")
+	}
+
+	// A handle over nil parts still no-ops.
+	h2 := NewHandle(nil, nil)
+	h2.StartSpan("z", 3).End()
+	if h2.Registry() != nil {
+		t.Fatal("nil registry must surface as nil")
+	}
+}
+
+// TestConcurrentSpans runs span trees from parallel goroutines (as
+// SDM-grouped pipelines would) with snapshots racing the tracker.
+func TestConcurrentSpans(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	reg := NewRegistry()
+	var mu sync.Mutex
+	now := 0.0
+	clock := func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		now += 1e-6
+		return now
+	}
+	s := NewSpans(rec, clock, reg)
+
+	var wg sync.WaitGroup
+	const workers, iters = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sp := s.Start("poll-rx", uint8(w+1))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = reg.Snapshot()
+			_ = rec.Len()
+		}
+	}()
+	wg.Wait()
+
+	if got := rec.Len(); got != workers*iters {
+		t.Fatalf("span events %d, want %d", got, workers*iters)
+	}
+	snap := reg.Snapshot()
+	for _, f := range snap.Families {
+		if f.Name == "stage_wall_seconds" {
+			if got := f.Metrics[0].Count; got != workers*iters {
+				t.Fatalf("wall histogram count %d, want %d", got, workers*iters)
+			}
+		}
+	}
+}

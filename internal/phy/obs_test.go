@@ -1,0 +1,68 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmtag/internal/obs"
+	"mmtag/internal/vanatta"
+)
+
+func TestBERMeterCounts(t *testing.T) {
+	c, err := NewConstellation("bpsk", vanatta.BPSK().States())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := NewBERMeter(reg)
+	rng := rand.New(rand.NewSource(1))
+
+	res, err := m.MeasureBER(c, 8, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MeasureSER(c, 8, 1000, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	var trials, bits, errors float64
+	for _, f := range reg.Snapshot().Families {
+		if len(f.Metrics) == 0 {
+			continue
+		}
+		switch f.Name {
+		case "phy_ber_trials_total":
+			trials = f.Metrics[0].Value
+		case "phy_ber_bits_total":
+			bits = f.Metrics[0].Value
+		case "phy_ber_errors_total":
+			errors = f.Metrics[0].Value
+		}
+	}
+	if trials != 2 {
+		t.Errorf("trials %g, want 2", trials)
+	}
+	if bits != float64(res.Bits) {
+		t.Errorf("bits %g, want %d", bits, res.Bits)
+	}
+	if errors != float64(res.Errors) {
+		t.Errorf("errors %g, want %d", errors, res.Errors)
+	}
+}
+
+func TestBERMeterNilRunsPlain(t *testing.T) {
+	c, err := NewConstellation("bpsk", vanatta.BPSK().States())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *BERMeter
+	if _, err := m.MeasureBER(c, 8, 500, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MeasureSER(c, 8, 500, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if NewBERMeter(nil) != nil {
+		t.Fatal("nil registry must yield a nil meter")
+	}
+}

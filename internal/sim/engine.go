@@ -8,6 +8,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"mmtag/internal/obs"
 )
 
 // Engine is a minimal discrete-event scheduler. Events fire in time
@@ -16,6 +18,11 @@ type Engine struct {
 	now   float64
 	seq   uint64
 	queue eventQueue
+
+	// fired/scheduled meter the event loop when instrumented (nil-safe).
+	fired     *obs.Counter
+	scheduled *obs.Counter
+	simTime   *obs.Gauge
 }
 
 type event struct {
@@ -47,6 +54,20 @@ func (q *eventQueue) Pop() interface{} {
 // NewEngine returns an engine at time zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// Instrument meters the event loop into reg: events scheduled and
+// fired, and the advancing simulation clock. Nil registries no-op.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.scheduled = reg.Counter("sim_engine_scheduled_total",
+		"Events pushed onto the discrete-event queue.")
+	e.fired = reg.Counter("sim_engine_fired_total",
+		"Events executed by the discrete-event loop.")
+	e.simTime = reg.Gauge("sim_time_seconds",
+		"Current simulated time.")
+}
+
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
@@ -58,6 +79,7 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.scheduled.Inc()
 }
 
 // Step runs the next event, returning false when the queue is empty.
@@ -68,6 +90,8 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	ev.fn()
+	e.fired.Inc()
+	e.simTime.Set(e.now)
 	return true
 }
 
@@ -80,6 +104,7 @@ func (e *Engine) RunUntil(t float64) {
 	if e.now < t {
 		e.now = t
 	}
+	e.simTime.Set(e.now)
 }
 
 // Pending returns the number of queued events.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mmtag/internal/mac"
+	"mmtag/internal/obs"
 	"mmtag/internal/trace"
 )
 
@@ -46,6 +47,8 @@ type MobileConfig struct {
 	Seed int64
 	// Trace, when non-nil, receives rate-change and blockage events.
 	Trace *trace.Recorder
+	// Obs, when non-nil, meters the run's MAC and link activity.
+	Obs *obs.Handle
 }
 
 // MobileSample is one time step of a mobility run.
@@ -142,10 +145,18 @@ func RunMobile(n *Network, cfg MobileConfig) (*MobileReport, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	stCfg := cfg.Station
 	stCfg.Beams = n.Codebook(sector)
+	if stCfg.Obs == nil {
+		stCfg.Obs = cfg.Obs
+	}
+	if cfg.Obs.Registry() != nil {
+		n.Instrument(cfg.Obs)
+	}
 	station, err := mac.NewStation(stCfg, n, rng)
 	if err != nil {
 		return nil, err
 	}
+	spRun := cfg.Obs.StartSpan("mobile-run", cfg.TagID)
+	defer spRun.End()
 
 	// Initial placement and discovery.
 	start := interpolate(cfg.Trajectory, cfg.Trajectory[0].Time)

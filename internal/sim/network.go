@@ -9,6 +9,7 @@ import (
 	"mmtag/internal/ap"
 	"mmtag/internal/channel"
 	"mmtag/internal/mac"
+	"mmtag/internal/obs"
 	"mmtag/internal/tag"
 )
 
@@ -54,6 +55,11 @@ type Network struct {
 	PathLoss    channel.PathLoss
 	tags        map[uint8]*Placement
 	interferers []Interferer
+
+	// Instrumentation (all nil-safe; see Instrument).
+	linkObs    *channel.LinkObs
+	snrQueries *obs.Counter
+	inaudible  *obs.Counter
 }
 
 // NewNetwork builds an empty network around an AP. A nil pathloss means
@@ -66,6 +72,21 @@ func NewNetwork(a *ap.AP, pl channel.PathLoss) (*Network, error) {
 		pl = channel.FreeSpace{FreqHz: a.Config().FreqHz}
 	}
 	return &Network{AP: a, PathLoss: pl, tags: make(map[uint8]*Placement)}, nil
+}
+
+// Instrument meters the network's link-budget activity into the
+// handle's registry: per-query counters plus the channel-level budget
+// instruments threaded into every Link it builds. Nil handles no-op.
+func (n *Network) Instrument(h *obs.Handle) {
+	reg := h.Registry()
+	if reg == nil {
+		return
+	}
+	n.linkObs = channel.NewLinkObs(reg)
+	n.snrQueries = reg.Counter("sim_snr_queries_total",
+		"MAC-visible SNR queries answered by the network.")
+	n.inaudible = reg.Counter("sim_snr_inaudible_total",
+		"SNR queries answered inaudible (out of range, rate unusable).")
 }
 
 // AddTag places a tag. IDs must be unique; distance must be positive.
@@ -128,6 +149,7 @@ func (n *Network) interferenceW() float64 {
 func (n *Network) link(p *Placement, beamRad, efficiency float64) *channel.Link {
 	n.AP.Steer(beamRad)
 	return &channel.Link{
+		Obs:           n.linkObs,
 		InterferenceW: n.interferenceW(),
 		FreqHz:        n.AP.Config().FreqHz,
 		TxPowerW:      n.AP.Config().TxPowerW,
@@ -149,11 +171,14 @@ func (n *Network) link(p *Placement, beamRad, efficiency float64) *channel.Link 
 // its switch rise time — report as inaudible so the MAC never selects
 // them.
 func (n *Network) SNR(tagID uint8, beamRad float64, r mac.Rate) (float64, bool) {
+	n.snrQueries.Inc()
 	p, ok := n.tags[tagID]
 	if !ok {
+		n.inaudible.Inc()
 		return 0, false
 	}
 	if r.SymbolRate() > p.Device.MaxSymbolRate() {
+		n.inaudible.Inc()
 		return 0, false
 	}
 	// Alphabet capability: a rate is usable natively when it names the
@@ -162,6 +187,7 @@ func (n *Network) SNR(tagID uint8, beamRad float64, r mac.Rate) (float64, bool) 
 	// mechanism the sync preamble uses). Higher-order rates on a tag
 	// without that switch network are not producible.
 	if r.Mod.Name != p.Device.Modulation().Name() && r.Mod.BitsPerSymbol != 1 {
+		n.inaudible.Inc()
 		return 0, false
 	}
 	eff := r.Mod.Efficiency
@@ -171,10 +197,12 @@ func (n *Network) SNR(tagID uint8, beamRad float64, r mac.Rate) (float64, bool) 
 	l := n.link(p, beamRad, eff)
 	incident, err := l.TagIncidentPowerW()
 	if err != nil || !p.Device.CanHear(incident) {
+		n.inaudible.Inc()
 		return 0, false
 	}
 	snr, err := l.SNR(r.SymbolRate())
 	if err != nil {
+		n.inaudible.Inc()
 		return 0, false
 	}
 	return snr, true

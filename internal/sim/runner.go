@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"mmtag/internal/mac"
+	"mmtag/internal/obs"
 	"mmtag/internal/tag"
 	"mmtag/internal/trace"
 )
@@ -30,6 +31,11 @@ type InventoryConfig struct {
 	// Trace, when non-nil, receives structured events (discoveries,
 	// polls, rate changes) for offline analysis.
 	Trace *trace.Recorder
+	// Obs, when non-nil, meters the run (counters, SNR histograms,
+	// stage spans) into the handle's registry and span tracker; the
+	// final registry snapshot lands on InventoryReport.Metrics. A nil
+	// handle keeps the run allocation-free.
+	Obs *obs.Handle
 }
 
 // InventoryReport summarizes an inventory run.
@@ -47,6 +53,52 @@ type InventoryReport struct {
 	EnergyPerBitJ  float64
 	totalBits      int64
 	totalTagEnergy float64
+	// Metrics is the run's final metrics snapshot, present when the run
+	// was configured with an observability handle.
+	Metrics *obs.Snapshot
+}
+
+// runnerMetrics pre-resolves the run-level instruments; nil when off.
+type runnerMetrics struct {
+	frames       *obs.CounterVec // sim_frames_total{ok}
+	cycles       *obs.Counter    // sim_poll_cycles_total
+	goodput      *obs.Gauge      // sim_goodput_bps
+	discovered   *obs.Gauge      // sim_discovered_tags
+	totalTags    *obs.Gauge      // sim_total_tags
+	sdmGroups    *obs.Gauge      // sim_sdm_groups
+	discTime     *obs.Gauge      // sim_discovery_seconds
+	energyPerBit *obs.Gauge      // sim_energy_per_bit_joules
+	tagEnergy    *obs.GaugeVec   // tag_energy_joules{tag}
+	discoverSNR  *obs.HistogramVec
+}
+
+func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runnerMetrics{
+		frames: reg.CounterVec("sim_frames_total",
+			"Uplink frames by delivery outcome.", "ok"),
+		cycles: reg.Counter("sim_poll_cycles_total",
+			"TDMA/SDM poll cycles completed."),
+		goodput: reg.Gauge("sim_goodput_bps",
+			"Aggregate goodput of the poll phase."),
+		discovered: reg.Gauge("sim_discovered_tags",
+			"Tags discovered by the beam sweep."),
+		totalTags: reg.Gauge("sim_total_tags",
+			"Tags placed in the environment."),
+		sdmGroups: reg.Gauge("sim_sdm_groups",
+			"Space-division multiplexing groups formed."),
+		discTime: reg.Gauge("sim_discovery_seconds",
+			"Simulated time the discovery phase took."),
+		energyPerBit: reg.Gauge("sim_energy_per_bit_joules",
+			"Backscatter energy per delivered bit."),
+		tagEnergy: reg.GaugeVec("tag_energy_joules",
+			"Per-tag energy consumed during the run.", "tag"),
+		discoverSNR: reg.HistogramVec("mac_discovery_snr_db",
+			"SNR measured at discovery, by tag (dB).",
+			obs.LinearBuckets(-10, 5, 14), "tag"),
+	}
 }
 
 // RunInventory executes the full mmTag network scenario: beam-swept
@@ -65,12 +117,22 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	stCfg := cfg.Station
 	stCfg.Beams = n.Codebook(cfg.SectorRad)
+	if stCfg.Obs == nil {
+		stCfg.Obs = cfg.Obs
+	}
 	station, err := mac.NewStation(stCfg, n, rng)
 	if err != nil {
 		return nil, err
 	}
 
 	eng := NewEngine()
+	m := newRunnerMetrics(cfg.Obs.Registry())
+	if m != nil {
+		eng.Instrument(cfg.Obs.Registry())
+		n.Instrument(cfg.Obs)
+		cfg.Obs.Spans().SetClock(eng.Now)
+	}
+	spRun := cfg.Obs.StartSpan("inventory-run", 0)
 	rep := &InventoryReport{
 		TotalTags:     n.TagCount(),
 		EnergyPerTagJ: make(map[uint8]float64),
@@ -86,9 +148,10 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 
 	// Discovery phase: each probe round costs a probe + contention
 	// window of slot times at the probe rate.
+	spDiscovery := cfg.Obs.StartSpan("discovery", 0)
 	rep.Discovered = station.Discover()
-	if cfg.Trace != nil {
-		for _, rec := range station.Known() {
+	for _, rec := range station.Known() {
+		if cfg.Trace != nil {
 			cfg.Trace.Emit(trace.Event{
 				T:      eng.Now(),
 				Kind:   trace.KindDiscover,
@@ -96,12 +159,21 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 				Detail: fmt.Sprintf("beam %.1fdeg snr %.1fdB", rec.BeamRad*180/math.Pi, 10*log10(rec.SNR)),
 			})
 		}
+		if m != nil {
+			m.discoverSNR.With(obs.U8(rec.ID)).Observe(10 * log10(rec.SNR))
+		}
 	}
 	probeBits := 56 + 6*8*2 // header + short probe exchange, approximate
 	slotTime := float64(probeBits) / stCfg.ProbeRateOrDefault().BitRate
 	discoveryTime := float64(station.Stats.DiscoverySlots+station.Stats.ProbesSent) * slotTime
 	eng.RunUntil(discoveryTime)
 	rep.DiscoveryTime = discoveryTime
+	spDiscovery.End()
+	if m != nil {
+		m.discovered.Set(float64(rep.Discovered))
+		m.totalTags.Set(float64(rep.TotalTags))
+		m.discTime.Set(discoveryTime)
+	}
 
 	// Listen-mode energy during discovery.
 	for _, id := range n.Tags() {
@@ -137,8 +209,16 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 	rep.SDMGroups = len(groups)
 
 	deadline := eng.Now() + cfg.Duration
+	spPoll := cfg.Obs.StartSpan("poll-phase", 0)
+	var lastRate map[uint8]string // only written under the Trace gate
+	if cfg.Trace != nil {
+		lastRate = make(map[uint8]string)
+	}
 	for eng.Now() < deadline && len(known) > 0 {
 		rep.PollCycles++
+		if m != nil {
+			m.cycles.Inc()
+		}
 		for _, group := range groups {
 			// Tags in one group transmit concurrently on separate beams;
 			// the slot lasts as long as the slowest member.
@@ -156,12 +236,27 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 						Detail: res.Rate.String(),
 						OK:     res.Delivered,
 					})
+					// Rate-change events make adaptation visible to the
+					// trace analyzer without diffing every poll line.
+					rate := res.Rate.String()
+					if prev, ok := lastRate[id]; ok && prev != rate {
+						cfg.Trace.Emit(trace.Event{
+							T:      eng.Now(),
+							Kind:   trace.KindRateChange,
+							Tag:    id,
+							Detail: prev + " -> " + rate,
+						})
+					}
+					lastRate[id] = rate
 				}
 				if res.Delivered {
 					rep.FramesOK++
 					rep.totalBits += int64(res.Bits)
 				} else {
 					rep.FramesLost++
+				}
+				if m != nil {
+					m.frames.With(obs.OK(res.Delivered)).Inc()
 				}
 				// Tag energy: the device backscatters for its air time.
 				p, _ := n.Placement(id)
@@ -180,6 +275,7 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 			}
 		}
 	}
+	spPoll.End()
 
 	elapsed := eng.Now() - discoveryTime
 	if elapsed > 0 {
@@ -204,6 +300,16 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 		rep.EnergyPerBitJ = backscatterE / float64(rep.totalBits)
 	}
 	rep.MACStats = station.Stats
+	spRun.End()
+	if m != nil {
+		m.goodput.Set(rep.GoodputBps)
+		m.sdmGroups.Set(float64(rep.SDMGroups))
+		m.energyPerBit.Set(rep.EnergyPerBitJ)
+		for id, e := range rep.EnergyPerTagJ {
+			m.tagEnergy.With(obs.U8(id)).Set(e)
+		}
+		rep.Metrics = cfg.Obs.Registry().Snapshot()
+	}
 	return rep, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Kind classifies events.
@@ -25,6 +26,12 @@ const (
 	KindRateChange Kind = "rate-change"
 	KindBlockage   Kind = "blockage"
 	KindCustom     Kind = "custom"
+	// KindSpan marks a completed timed stage of a run (discovery, poll
+	// phase, a demodulation pass); T is the span start.
+	KindSpan Kind = "span"
+	// KindMeta carries recorder bookkeeping (e.g. the dropped-event
+	// count a bounded recorder accumulated) in the JSONL export.
+	KindMeta Kind = "meta"
 )
 
 // Event is one recorded occurrence.
@@ -39,13 +46,25 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 	// OK marks success/failure for poll-like events.
 	OK bool `json:"ok,omitempty"`
+	// Span names the stage for KindSpan events.
+	Span string `json:"span,omitempty"`
+	// Dur is the span's simulated-time duration in seconds.
+	Dur float64 `json:"dur,omitempty"`
+	// WallNs is the span's wall-clock duration in nanoseconds.
+	WallNs int64 `json:"wall_ns,omitempty"`
+	// Depth is the span's nesting level (0 = top-level stage).
+	Depth int `json:"depth,omitempty"`
+	// Dropped carries the recorder's dropped-event count on the KindMeta
+	// trailer a bounded recorder appends to its JSONL export.
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // Recorder accumulates events. It is safe for concurrent use.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	cap    int
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int
 }
 
 // NewRecorder returns a recorder bounded to maxEvents (unbounded when
@@ -59,6 +78,7 @@ func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cap > 0 && len(r.events) >= r.cap {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, e)
@@ -69,6 +89,13 @@ func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
+}
+
+// Dropped returns how many events the bound discarded.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns a copy of the recorded events in emission order.
@@ -104,13 +131,29 @@ func (r *Recorder) Summary() map[Kind]int {
 	return out
 }
 
-// WriteJSONL streams the events as JSON lines.
+// WriteJSONL streams the events as JSON lines. A bounded recorder that
+// dropped events appends a KindMeta trailer carrying the dropped count,
+// so downstream analyzers know the capture is incomplete.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	events := r.Events()
+	dropped := r.Dropped()
 	enc := json.NewEncoder(w)
-	for _, e := range r.Events() {
+	for _, e := range events {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
+	}
+	if dropped > 0 {
+		last := 0.0
+		if n := len(events); n > 0 {
+			last = events[n-1].T
+		}
+		return enc.Encode(Event{
+			T:       last,
+			Kind:    KindMeta,
+			Detail:  "recorder bound reached; events dropped",
+			Dropped: dropped,
+		})
 	}
 	return nil
 }
@@ -140,6 +183,9 @@ func (r *Recorder) Render() string {
 		if e.Tag != 0 {
 			fmt.Fprintf(&b, " tag=%-3d", e.Tag)
 		}
+		if e.Span != "" {
+			fmt.Fprintf(&b, " %s dur=%.6fs wall=%s", e.Span, e.Dur, time.Duration(e.WallNs))
+		}
 		if e.Detail != "" {
 			fmt.Fprintf(&b, " %s", e.Detail)
 		}
@@ -147,6 +193,9 @@ func (r *Recorder) Render() string {
 			fmt.Fprintf(&b, " ok=%v", e.OK)
 		}
 		b.WriteByte('\n')
+	}
+	if dropped := r.Dropped(); dropped > 0 {
+		fmt.Fprintf(&b, "(%d events dropped: recorder bound reached)\n", dropped)
 	}
 	return b.String()
 }

@@ -86,6 +86,70 @@ func TestEventsReturnsCopy(t *testing.T) {
 	}
 }
 
+func TestDroppedCountSurfaces(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{T: float64(i), Kind: KindCustom})
+	}
+	if got := r.Dropped(); got != 7 {
+		t.Fatalf("dropped %d, want 7", got)
+	}
+
+	// JSONL export appends a meta trailer carrying the count.
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Kind != KindMeta || last.Dropped != 7 {
+		t.Fatalf("JSONL trailer %+v", last)
+	}
+	if len(events) != 4 { // 3 kept + trailer
+		t.Fatalf("JSONL events %d, want 4", len(events))
+	}
+
+	// The text timeline flags the loss too.
+	if out := r.Render(); !strings.Contains(out, "7 events dropped") {
+		t.Fatalf("render missing drop notice:\n%s", out)
+	}
+
+	// An unbounded recorder exports no trailer.
+	r2 := NewRecorder(0)
+	r2.Emit(Event{Kind: KindCustom})
+	buf.Reset()
+	if err := r2.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if events, err = ReadJSONL(&buf); err != nil || len(events) != 1 {
+		t.Fatalf("unbounded export %d events (%v), want 1", len(events), err)
+	}
+}
+
+func TestSpanEventRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{T: 0.5, Kind: KindSpan, Tag: 2, Span: "discovery",
+		Dur: 0.002, WallNs: 1_500_000, Depth: 1})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := events[0]
+	if e.Span != "discovery" || e.Dur != 0.002 || e.WallNs != 1_500_000 || e.Depth != 1 {
+		t.Fatalf("span round trip %+v", e)
+	}
+	if out := r.Render(); !strings.Contains(out, "discovery dur=0.002000s wall=1.5ms") {
+		t.Fatalf("span render:\n%s", out)
+	}
+}
+
 func TestConcurrentEmit(t *testing.T) {
 	r := NewRecorder(0)
 	var wg sync.WaitGroup
@@ -101,5 +165,43 @@ func TestConcurrentEmit(t *testing.T) {
 	wg.Wait()
 	if r.Len() != 800 {
 		t.Fatalf("concurrent emits lost events: %d", r.Len())
+	}
+}
+
+// TestConcurrentEmitAndSnapshot hammers a bounded recorder with writers
+// while readers snapshot, render and export it — the race detector's
+// target.
+func TestConcurrentEmitAndSnapshot(t *testing.T) {
+	r := NewRecorder(500)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Emit(Event{T: float64(i), Kind: KindPoll, Tag: uint8(g + 1), OK: i%2 == 0})
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = r.Events()
+				_ = r.Summary()
+				_ = r.Dropped()
+				_ = r.Render()
+				var buf bytes.Buffer
+				if err := r.WriteJSONL(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len() + r.Dropped(); got != 800 {
+		t.Fatalf("kept+dropped = %d, want 800", got)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"mmtag/internal/ap"
 	"mmtag/internal/channel"
 	"mmtag/internal/mac"
+	"mmtag/internal/obs"
 	"mmtag/internal/rfmath"
 	"mmtag/internal/sim"
 	"mmtag/internal/tag"
@@ -190,30 +191,52 @@ type RunConfig struct {
 	// Trace, when non-nil, receives a text event timeline (discoveries
 	// and polls) after the run completes.
 	Trace io.Writer
+	// TraceJSONL, when non-nil, receives the structured event/span log
+	// as JSON lines — the machine format cmd/mmtag-trace analyzes.
+	TraceJSONL io.Writer
+	// CollectMetrics turns on the observability layer for this run:
+	// counters, SNR and stage-duration histograms land on
+	// Report.Metrics. Off (the default) costs nothing.
+	CollectMetrics bool
 }
 
 // Report is the outcome of a Run. It aliases the simulator's report;
 // see sim.InventoryReport for field documentation.
 type Report = sim.InventoryReport
 
+// MetricsSnapshot is the metrics state a metered Run leaves on
+// Report.Metrics; render it with WritePrometheus or WriteJSON.
+type MetricsSnapshot = obs.Snapshot
+
 // Run performs discovery followed by TDMA/SDM polling and returns the
 // report.
 func (s *System) Run(cfg RunConfig) (*Report, error) {
 	var rec *trace.Recorder
-	if cfg.Trace != nil {
+	if cfg.Trace != nil || cfg.TraceJSONL != nil {
 		rec = trace.NewRecorder(100_000)
+	}
+	var handle *obs.Handle
+	if cfg.CollectMetrics {
+		reg := obs.NewRegistry()
+		handle = obs.NewHandle(reg, obs.NewSpans(rec, nil, reg))
 	}
 	rep, err := sim.RunInventory(s.net, sim.InventoryConfig{
 		Duration: cfg.Duration,
 		SDM:      cfg.SDM,
 		Seed:     cfg.Seed,
 		Trace:    rec,
+		Obs:      handle,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if rec != nil {
+	if cfg.Trace != nil {
 		if _, werr := io.WriteString(cfg.Trace, rec.Render()); werr != nil {
+			return nil, werr
+		}
+	}
+	if cfg.TraceJSONL != nil {
+		if werr := rec.WriteJSONL(cfg.TraceJSONL); werr != nil {
 			return nil, werr
 		}
 	}
