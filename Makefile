@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz
 
 check: fmt vet build race
 
@@ -26,3 +26,9 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Short smoke runs of every fuzz target (Go only fuzzes one target per
+# invocation).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDeriveSeed -fuzztime 10s ./internal/par/
+	$(GO) test -run xxx -fuzz FuzzTraceJSONL -fuzztime 10s ./cmd/mmtag-trace/

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mmtag/internal/eval"
+	"mmtag/internal/par"
 )
 
 const benchSeed = 42
@@ -123,6 +124,41 @@ func BenchmarkT2PowerBreakdown(b *testing.B) {
 
 func BenchmarkT3EnergyCompare(b *testing.B) {
 	benchTable(b, eval.T3EnergyCompare)
+}
+
+// BenchmarkSuiteSerial regenerates every evaluation table on the
+// calling goroutine — the reference cost of a full `mmtag-bench` run.
+func BenchmarkSuiteSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tabs, err := eval.RunSuite(eval.Exec{}, nil, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) == 0 {
+			b.Fatal("empty suite")
+		}
+	}
+}
+
+// BenchmarkSuiteParallel is the same suite sharded across a
+// GOMAXPROCS-sized worker pool (experiments and their trial grids both
+// shard). The output is bit-identical to the serial run; the ratio of
+// the two benchmarks is the harness's parallel speedup on this machine.
+func BenchmarkSuiteParallel(b *testing.B) {
+	pool := par.New(par.Config{})
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tabs, err := eval.RunSuite(eval.Exec{Pool: pool}, nil, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) == 0 {
+			b.Fatal("empty suite")
+		}
+	}
 }
 
 func benchSystemRun(b *testing.B, collectMetrics bool) {

@@ -7,11 +7,19 @@
 //	mmtag-bench -experiment E4      # one experiment
 //	mmtag-bench -csv -out results/  # write one CSV per experiment
 //	mmtag-bench -seed 7             # change the Monte-Carlo seed
+//	mmtag-bench -parallel 8         # shard experiments across 8 workers
 //	mmtag-bench -metrics bench.prom -pprof profiles/
+//
+// -parallel N runs the suite on an N-worker pool: experiments (and
+// their internal trial grids) shard across workers, but every table is
+// byte-identical to the serial run because each trial derives its RNG
+// stream from its own grid coordinates, never from the schedule.
+// -parallel 1 is exactly the historical serial harness.
 //
 // With -metrics the harness itself is metered: per-experiment wall time
 // and row counts land in a registry snapshot written in Prometheus text
-// format (or JSON when the path ends in .json). -pprof captures heap and
+// format (or JSON when the path ends in .json), alongside the pool's
+// par_tasks_total / par_queue_depth series. -pprof captures heap and
 // allocs profiles plus a GC summary after the run.
 package main
 
@@ -28,11 +36,13 @@ import (
 
 	"mmtag/internal/eval"
 	"mmtag/internal/obs"
+	"mmtag/internal/par"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E18, A1, T2, T3, or all)")
+	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E18, A1, A2, T2, T3, or all)")
 	seed := flag.Int64("seed", 42, "seed for Monte-Carlo experiments")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment pool (1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	out := flag.String("out", "", "directory to write per-experiment files (stdout if empty)")
 	metrics := flag.String("metrics", "", "write harness metrics (per-experiment wall time) to this file (- for stdout)")
@@ -47,31 +57,30 @@ func main() {
 	if *metrics != "" {
 		reg = obs.NewRegistry()
 	}
-	tables, err := runMetered(*experiment, *seed, reg)
+	pool := par.New(par.Config{Workers: *parallel, Registry: reg})
+	defer pool.Close()
+	x := eval.Exec{Pool: pool}
+	tables, err := runMetered(x, *experiment, *seed, reg)
 	if err != nil {
 		fail(err)
 	}
-	if *out != "" {
+	if *out == "" {
+		printTables(os.Stdout, tables, *csv)
+	} else {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fail(err)
 		}
-	}
-	for _, t := range tables {
-		body := t.Render()
-		ext := "txt"
-		if *csv {
-			body = t.CSV()
-			ext = "csv"
+		for _, t := range tables {
+			body, ext := t.Render(), "txt"
+			if *csv {
+				body, ext = t.CSV(), "csv"
+			}
+			path := filepath.Join(*out, fmt.Sprintf("%s.%s", strings.ToLower(t.ID), ext))
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", path)
 		}
-		if *out == "" {
-			fmt.Println(body)
-			continue
-		}
-		path := filepath.Join(*out, fmt.Sprintf("%s.%s", strings.ToLower(t.ID), ext))
-		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
-			fail(err)
-		}
-		fmt.Printf("wrote %s\n", path)
 	}
 	if reg != nil {
 		if err := writeMetrics(reg, *metrics, os.Stdout); err != nil {
@@ -85,20 +94,28 @@ func main() {
 	}
 }
 
-// experimentIDs lists every experiment a metered "all" run times
-// individually, in report order (matches eval.AllTables).
-var experimentIDs = []string{
-	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-	"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-	"A1", "A2", "T2", "T3",
+// printTables writes each table body followed by a blank separator
+// line — the harness's historical stdout format, shared with the
+// golden-file test.
+func printTables(w io.Writer, tables []*eval.Table, csv bool) {
+	for _, t := range tables {
+		body := t.Render()
+		if csv {
+			body = t.CSV()
+		}
+		fmt.Fprintln(w, body)
+	}
 }
 
 // runMetered runs the requested experiments, timing each into the
-// registry. With a nil registry it defers to the plain run path
-// (including the shared-testbed AllTables fast path for "all").
-func runMetered(id string, seed int64, reg *obs.Registry) ([]*eval.Table, error) {
+// registry. With a nil registry it defers to the plain run path. The
+// metered "all" run shards experiments across x.Pool exactly like
+// eval.RunSuite does — fixed result slots keep the output order (and
+// bytes) schedule-independent, and the obs instruments are safe to
+// update from pool workers.
+func runMetered(x eval.Exec, id string, seed int64, reg *obs.Registry) ([]*eval.Table, error) {
 	if reg == nil {
-		return run(id, seed)
+		return run(x, id, seed)
 	}
 	seconds := reg.HistogramVec("bench_experiment_seconds",
 		"Wall-clock cost of regenerating each evaluation table.",
@@ -109,20 +126,29 @@ func runMetered(id string, seed int64, reg *obs.Registry) ([]*eval.Table, error)
 		"Experiments executed by this bench invocation.")
 	ids := []string{id}
 	if strings.EqualFold(id, "all") {
-		ids = experimentIDs
+		ids = eval.ExperimentIDs()
 	}
-	var out []*eval.Table
-	for _, eid := range ids {
+	results := make([][]*eval.Table, len(ids))
+	err := x.Pool.Map(x.Ctx, len(ids), func(i int) error {
+		eid := ids[i]
 		start := time.Now()
-		tables, err := run(eid, seed)
+		tables, err := eval.RunExperiment(x, eid, nil, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		seconds.With(eid).Observe(time.Since(start).Seconds())
 		total.Inc()
 		for _, t := range tables {
 			rows.With(eid).Add(float64(len(t.Rows)))
 		}
+		results[i] = tables
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*eval.Table
+	for _, tables := range results {
 		out = append(out, tables...)
 	}
 	return out, nil
@@ -186,60 +212,12 @@ func writeProfiles(dir string, w io.Writer) error {
 	return nil
 }
 
-func run(id string, seed int64) ([]*eval.Table, error) {
-	one := func(t *eval.Table, err error) ([]*eval.Table, error) {
-		if err != nil {
-			return nil, err
-		}
-		return []*eval.Table{t}, nil
+// run dispatches to the eval suite: "all" shards experiments across
+// x.Pool, a single ID runs just that experiment (its trial grid still
+// shards across the pool).
+func run(x eval.Exec, id string, seed int64) ([]*eval.Table, error) {
+	if strings.EqualFold(id, "all") {
+		return eval.RunSuite(x, nil, seed)
 	}
-	switch strings.ToUpper(id) {
-	case "ALL":
-		return eval.AllTables(nil, seed)
-	case "E1":
-		return one(eval.E1RetroPattern(nil))
-	case "E2":
-		return one(eval.E2LinkBudget(nil))
-	case "E3":
-		return one(eval.E3BERvsEbN0(seed))
-	case "E4":
-		return one(eval.E4BERvsDistance(nil))
-	case "E5":
-		return one(eval.E5Throughput(nil))
-	case "E6":
-		return one(eval.E6AngleRobustness(nil))
-	case "E7":
-		return one(eval.E7MultiTag(nil, seed))
-	case "E8":
-		return one(eval.E8EnergyPerBit(nil))
-	case "E9":
-		return one(eval.E9Cancellation(nil, seed))
-	case "E10":
-		return one(eval.E10Discovery(nil, seed))
-	case "E11":
-		return eval.E11SwitchLimit(nil, seed)
-	case "E12":
-		return one(eval.E12CodedPER(seed))
-	case "E13":
-		return one(eval.E13BatteryFree(nil))
-	case "E14":
-		return one(eval.E14DiscoveryAblation(nil, seed))
-	case "E15":
-		return one(eval.E15Blockage(nil, seed))
-	case "E16":
-		return one(eval.E16Multipath(seed))
-	case "E17":
-		return one(eval.E17Interference(nil, seed))
-	case "E18":
-		return one(eval.E18RoomClutter(nil))
-	case "A1":
-		return one(eval.A1RangeVsArraySize(nil))
-	case "A2":
-		return one(eval.A2SDMChains(nil, seed))
-	case "T2":
-		return one(eval.T2PowerBreakdown())
-	case "T3":
-		return one(eval.T3EnergyCompare())
-	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E18, A1, T2, T3, all)", id)
+	return eval.RunExperiment(x, id, nil, seed)
 }

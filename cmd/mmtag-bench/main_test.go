@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"mmtag/internal/eval"
 	"mmtag/internal/obs"
+	"mmtag/internal/par"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -15,7 +19,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	// package's own tests and the benchmarks.)
 	for _, id := range []string{"E1", "E2", "E4", "E5", "E6", "E8", "E13", "T2", "T3"} {
 		t.Run(id, func(t *testing.T) {
-			tables, err := run(id, 1)
+			tables, err := run(eval.Exec{}, id, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -30,7 +34,7 @@ func TestRunSingleExperiments(t *testing.T) {
 }
 
 func TestRunE11ReturnsTwoTables(t *testing.T) {
-	tables, err := run("e11", 1) // case-insensitive
+	tables, err := run(eval.Exec{}, "e11", 1) // case-insensitive
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,14 +44,14 @@ func TestRunE11ReturnsTwoTables(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if _, err := run("E99", 1); err == nil {
+	if _, err := run(eval.Exec{}, "E99", 1); err == nil {
 		t.Fatal("unknown ID must error")
 	}
 }
 
 func TestRunMeteredRecordsHarnessMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
-	tables, err := runMetered("E2", 1, reg)
+	tables, err := runMetered(eval.Exec{}, "E2", 1, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,5 +82,58 @@ func TestRunMeteredRecordsHarnessMetrics(t *testing.T) {
 	}
 	if !strings.Contains(string(text), `bench_experiment_seconds_count{experiment="E2"} 1`) {
 		t.Errorf("metrics missing E2 timing:\n%.400s", text)
+	}
+}
+
+// TestGoldenSuiteOutput pins the full-suite stdout at seed 42 to the
+// checked-in golden file, serial and parallel: the harness's published
+// numbers may never depend on worker count, and any change to them must
+// show up as a reviewed golden diff.
+func TestGoldenSuiteOutput(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "all_seed42.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			pool := par.New(par.Config{Workers: workers})
+			defer pool.Close()
+			tables, err := run(eval.Exec{Pool: pool}, "all", 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			printTables(&buf, tables, false)
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("suite output diverges from testdata/all_seed42.golden (got %d bytes, want %d)",
+					buf.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestRunMeteredParallelMatchesPlainRun checks the metered path (which
+// shards per-experiment timing across the pool) produces the same
+// tables in the same order as the unmetered suite.
+func TestRunMeteredParallelMatchesPlainRun(t *testing.T) {
+	const seed = 42
+	plain, err := run(eval.Exec{}, "all", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pool := par.New(par.Config{Workers: 4, Registry: reg})
+	defer pool.Close()
+	metered, err := runMetered(eval.Exec{Pool: pool}, "all", seed, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metered) != len(plain) {
+		t.Fatalf("metered tables %d, plain %d", len(metered), len(plain))
+	}
+	for i := range plain {
+		if metered[i].Render() != plain[i].Render() {
+			t.Errorf("table %d (%s) diverges under metered parallel run", i, plain[i].ID)
+		}
 	}
 }

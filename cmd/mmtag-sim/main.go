@@ -9,6 +9,12 @@
 //	mmtag-sim -tags 16 -spread 10 -exponent 2.5 -seed 3
 //	mmtag-sim -tags 8 -metrics - -trace run.jsonl
 //	mmtag-sim -tags 8 -metrics run.json -pprof profiles/
+//	mmtag-sim -tags 8 -sweep 16 -parallel 4
+//
+// -sweep N re-runs the scenario under N independent RNG streams
+// derived from -seed and reports per-replicate results plus the
+// mean±std aggregate; -parallel shards the replicates across workers
+// without changing a byte of the output.
 //
 // With -metrics the run is metered by the observability layer and the
 // final snapshot is written in Prometheus text exposition format (or
@@ -44,6 +50,8 @@ type options struct {
 	modulation    string
 	sdm           bool
 	seed          int64
+	sweep         int    // replicate count (0 = single run)
+	parallel      int    // sweep worker count
 	trace         string // event log path ("" = off)
 	metrics       string // metrics path ("" = off, "-" = stdout)
 	metricsFormat string // auto, text or json
@@ -61,6 +69,8 @@ func main() {
 	flag.StringVar(&o.modulation, "modulation", "ook", "tag alphabet: ook, bpsk, qpsk, 16qam")
 	flag.BoolVar(&o.sdm, "sdm", false, "enable space-division multiplexing")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.IntVar(&o.sweep, "sweep", 0, "run N replicates under seeds derived from -seed and report mean±std (0 = single run)")
+	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "worker count for -sweep replicates (1 = serial)")
 	flag.StringVar(&o.trace, "trace", "", "write the event/span log to this file (JSONL when it ends in .jsonl/.json)")
 	flag.StringVar(&o.metrics, "metrics", "", "write the run's metrics snapshot to this file (- for stdout)")
 	flag.StringVar(&o.metricsFormat, "metrics-format", "auto", "metrics format: auto, text (Prometheus) or json")
@@ -86,22 +96,12 @@ func run(o options) error {
 	if o.out == nil {
 		o.out = os.Stdout
 	}
-	sys, err := mmtag.NewSystem(mmtag.SystemConfig{PathLossExponent: o.exponent})
+	if o.sweep > 0 {
+		return runSweep(o)
+	}
+	sys, err := buildSystem(o)
 	if err != nil {
 		return err
-	}
-	rng := rand.New(rand.NewSource(o.seed))
-	for i := 0; i < o.tags; i++ {
-		az := -o.sector + 2*o.sector*float64(i)/float64(max(o.tags-1, 1))
-		d := 1.5 + rng.Float64()*(o.spread-1.5)
-		if err := sys.AddTag(mmtag.TagSpec{
-			ID:         uint8(i + 1),
-			DistanceM:  d,
-			AzimuthDeg: az,
-			Modulation: o.modulation,
-		}); err != nil {
-			return err
-		}
 	}
 
 	fmt.Fprintf(o.out, "mmtag-sim: %d tags, duration %.3gs, modulation %s, sdm=%v, seed %d\n\n",
@@ -183,6 +183,60 @@ func run(o options) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// buildSystem constructs the deployment the options describe. The
+// placement RNG is re-seeded from o.seed on every call, so repeated
+// calls (one per sweep replicate) produce identical deployments.
+func buildSystem(o options) (*mmtag.System, error) {
+	sys, err := mmtag.NewSystem(mmtag.SystemConfig{PathLossExponent: o.exponent})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	for i := 0; i < o.tags; i++ {
+		az := -o.sector + 2*o.sector*float64(i)/float64(max(o.tags-1, 1))
+		d := 1.5 + rng.Float64()*(o.spread-1.5)
+		if err := sys.AddTag(mmtag.TagSpec{
+			ID:         uint8(i + 1),
+			DistanceM:  d,
+			AzimuthDeg: az,
+			Modulation: o.modulation,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// runSweep executes the -sweep path: the same deployment re-run under
+// o.sweep derived seeds, sharded across o.parallel workers. The printed
+// report is byte-identical at any worker count, so the flag only buys
+// wall-clock time.
+func runSweep(o options) error {
+	if o.trace != "" || o.metrics != "" || o.pprofDir != "" {
+		return fmt.Errorf("-sweep cannot be combined with -trace, -metrics or -pprof (single-run sinks)")
+	}
+	fmt.Fprintf(o.out, "mmtag-sim: sweep of %d replicates (root seed %d): %d tags, duration %.3gs, modulation %s, sdm=%v\n\n",
+		o.sweep, o.seed, o.tags, o.duration, o.modulation, o.sdm)
+	rep, err := mmtag.Sweep(func() (*mmtag.System, error) { return buildSystem(o) },
+		mmtag.RunConfig{Duration: o.duration, SDM: o.sdm, Seed: o.seed},
+		o.sweep, o.parallel)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.out, "replicates:")
+	for _, r := range rep.Replicates {
+		fmt.Fprintf(o.out, "  rep %3d  seed %20d  discovered %d/%d  goodput %8.2f Mb/s  frames %d ok / %d lost\n",
+			r.Index, r.Seed, r.Report.Discovered, r.Report.TotalTags,
+			r.Report.GoodputBps/1e6, r.Report.FramesOK, r.Report.FramesLost)
+	}
+	fmt.Fprintf(o.out, "\naggregate over %d seeds:\n", len(rep.Replicates))
+	fmt.Fprintf(o.out, "  goodput           %.2f ± %.2f Mb/s\n",
+		rep.GoodputMeanBps/1e6, rep.GoodputStdDevBps/1e6)
+	fmt.Fprintf(o.out, "  mean discovered   %.1f / %d tags\n", rep.MeanDiscovered, o.tags)
+	fmt.Fprintf(o.out, "  frames            %d ok, %d lost\n", rep.FramesOK, rep.FramesLost)
 	return nil
 }
 

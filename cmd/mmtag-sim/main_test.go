@@ -63,6 +63,48 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestRunSweepOutputIndependentOfParallelism(t *testing.T) {
+	render := func(workers int) string {
+		o := baseOptions()
+		o.sweep = 3
+		o.parallel = workers
+		buf := &bytes.Buffer{}
+		o.out = buf
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	if !strings.Contains(serial, "aggregate over 3 seeds") {
+		t.Fatalf("sweep output missing aggregate:\n%s", serial)
+	}
+	if !strings.Contains(serial, "rep   2") {
+		t.Fatalf("sweep output missing replicate lines:\n%s", serial)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != serial {
+			t.Errorf("sweep output at %d workers differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+func TestRunSweepRejectsSingleRunSinks(t *testing.T) {
+	for name, mutate := range map[string]func(*options){
+		"trace":   func(o *options) { o.trace = "x.jsonl" },
+		"metrics": func(o *options) { o.metrics = "-" },
+		"pprof":   func(o *options) { o.pprofDir = "profiles" },
+	} {
+		o := baseOptions()
+		o.sweep = 2
+		mutate(&o)
+		if err := run(o); err == nil {
+			t.Errorf("%s: -sweep with a single-run sink must error", name)
+		}
+	}
+}
+
 func TestRunMetricsOutputs(t *testing.T) {
 	dir := t.TempDir()
 

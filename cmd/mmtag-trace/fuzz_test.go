@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mmtag/internal/trace"
+)
+
+// FuzzTraceJSONL drives the parser-plus-analyzer pipeline with
+// arbitrary byte streams: well-formed logs must analyze cleanly in
+// every mode, and truncated or corrupt input must surface as an error —
+// never a panic or a hang. This is the contract that lets mmtag-trace
+// read logs from crashed or interrupted simulation runs.
+func FuzzTraceJSONL(f *testing.F) {
+	// A well-formed log covering every event kind the analyzer handles.
+	rec := trace.NewRecorder(64)
+	rec.Emit(trace.Event{T: 0.001, Kind: trace.KindProbe, Tag: 1, OK: true})
+	rec.Emit(trace.Event{T: 0.002, Kind: trace.KindDiscover, Tag: 1, Detail: "snr 18.5 dB"})
+	rec.Emit(trace.Event{T: 0.003, Kind: trace.KindPoll, Tag: 1, OK: true, Detail: "qpsk-20M"})
+	rec.Emit(trace.Event{T: 0.004, Kind: trace.KindPoll, Tag: 2, OK: false, Detail: "qpsk-20M"})
+	rec.Emit(trace.Event{T: 0.005, Kind: trace.KindRateChange, Tag: 1, Detail: "qpsk-20M -> bpsk-10M"})
+	rec.Emit(trace.Event{T: 0.006, Kind: trace.KindCustom, Tag: 1, Detail: "note"})
+	var valid bytes.Buffer
+	if err := rec.WriteJSONL(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// A span + meta log (the shape metered runs export).
+	f.Add([]byte(`{"t":0,"kind":"span","span":"discovery","dur":0.01,"wall_ns":12345}` + "\n" +
+		`{"t":0,"kind":"meta","dropped":3}` + "\n"))
+	// Truncated mid-record, corrupt JSON, wrong shapes, empty.
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte(`{"t":0,"kind":`))
+	f.Add([]byte(`{"t":"not-a-number","kind":"poll"}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := trace.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, not panic — done
+		}
+		for _, mode := range []string{"summary", "timeline", "spans", "hist"} {
+			// analyze may reject (e.g. empty trace) but must not panic.
+			_ = analyze(events, mode, 0, io.Discard)
+			_ = analyze(events, mode, 1, io.Discard)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"context"
+
+	"mmtag/internal/par"
+)
+
+// Exec carries the execution substrate an experiment's trial grid runs
+// on: a possibly-nil worker pool and an optional cancellation context.
+// The zero Exec is fully serial and is what the exported single-
+// experiment functions use, so their results define the reference
+// output every parallel schedule must reproduce byte-for-byte.
+type Exec struct {
+	// Pool shards trial grids (and the suite) across workers; nil runs
+	// everything on the calling goroutine in index order.
+	Pool *par.Pool
+	// Ctx cancels a run early; nil means never.
+	Ctx context.Context
+}
+
+// context returns the effective cancellation context.
+func (x Exec) context() context.Context {
+	if x.Ctx != nil {
+		return x.Ctx
+	}
+	return context.Background()
+}
+
+// row is one table row still in AddRow cell form.
+type row []interface{}
+
+// runGrid evaluates an experiment's declared trial grid: shards
+// 0..shards-1 are independent (each derives any randomness from its own
+// index, never from a neighbour's state), run concurrently on x.Pool,
+// and their rows merge into t by ascending shard index — an
+// order-insensitive reduction, so the finished table is identical
+// whatever order the scheduler completed the shards in.
+func (x Exec) runGrid(t *Table, shards int, run func(shard int) ([]row, error)) error {
+	rows := make([][]row, shards)
+	err := x.Pool.Map(x.context(), shards, func(i int) error {
+		r, err := run(i)
+		rows[i] = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for _, rs := range rows {
+		for _, r := range rs {
+			t.AddRow(r...)
+		}
+	}
+	return nil
+}

@@ -12,6 +12,12 @@ import (
 // victim's serving sector, and reports the victim network's goodput and
 // per-tag SINR degradation.
 func E17Interference(tb *Testbed, seed int64) (*Table, error) {
+	return e17Interference(Exec{}, tb, seed)
+}
+
+// e17Interference's trial grid is the interferer-EIRP axis; every
+// shard builds its own victim network, so nothing is shared.
+func e17Interference(x Exec, tb *Testbed, seed int64) (*Table, error) {
 	tb = tb.orDefault()
 	t := &Table{
 		ID:     "E17",
@@ -19,8 +25,10 @@ func E17Interference(tb *Testbed, seed int64) (*Table, error) {
 		Header: []string{"interferer_eirp_dBm", "tag_sinr_dB", "goodput_Mbps", "frames_ok"},
 		Notes:  []string{"interference lands at an uncorrelated offset and degrades the link like noise"},
 	}
-	// EIRP 0 marks the clean baseline.
-	for _, eirpDBm := range []float64{-999, 10, 20, 30, 40, 50} {
+	// EIRP -999 marks the clean baseline.
+	grid := []float64{-999, 10, 20, 30, 40, 50}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		eirpDBm := grid[shard]
 		net, err := buildFleet(tb, 4, seed+9)
 		if err != nil {
 			return nil, err
@@ -61,7 +69,10 @@ func E17Interference(tb *Testbed, seed int64) (*Table, error) {
 		if eirpDBm == -999 {
 			label = "none"
 		}
-		t.AddRow(label, sinrDB, rep.GoodputBps/1e6, rep.FramesOK)
+		return []row{{label, sinrDB, rep.GoodputBps / 1e6, rep.FramesOK}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -15,17 +15,26 @@ import (
 // links (narrow mmWave beams) barely need the equalizer; low-K channels
 // break the one-tap receiver and the equalizer restores them.
 func E16Multipath(seed int64) (*Table, error) {
+	return e16Multipath(Exec{}, seed)
+}
+
+// e16Multipath's trial grid is the K-factor axis: each shard seeds its
+// own RNG from its K value (the historical per-row seeding) and
+// averages its realizations privately.
+func e16Multipath(x Exec, seed int64) (*Table, error) {
 	t := &Table{
 		ID:     "E16",
 		Title:  "Multipath robustness: symbol error rate vs Rician K (QPSK, 25 dB SNR)",
 		Header: []string{"k_dB", "ser_onetap", "ser_mmse", "delay_spread_samp"},
 		Notes:  []string{"3 scattered taps over 3 symbols; sounding uses a 511-symbol PN header; MMSE has 21 taps"},
 	}
-	c := phy.NewQPSK()
 	const nData = 2000
 	const trainLen = 511
 	const realizations = 8
-	for _, kDB := range []float64{20, 10, 6, 3, 0} {
+	grid := []float64{20, 10, 6, 3, 0}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		kDB := grid[shard]
+		c := phy.NewQPSK()
 		rng := rand.New(rand.NewSource(seed + int64(kDB*10)))
 		k := rfmath.FromDB(kDB)
 		var serOneSum, serMMSESum, spreadSum float64
@@ -73,8 +82,11 @@ func E16Multipath(seed int64) (*Table, error) {
 			}
 			spreadSum += spread
 		}
-		t.AddRow(kDB, serOneSum/realizations, serMMSESum/realizations,
-			spreadSum/realizations)
+		return []row{{kDB, serOneSum / realizations, serMMSESum / realizations,
+			spreadSum / realizations}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

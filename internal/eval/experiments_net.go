@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"fmt"
 	"math/rand"
 
 	"mmtag/internal/ap"
@@ -64,6 +63,12 @@ func maxI(a, b int) int {
 // E7MultiTag regenerates the multi-tag figure: aggregate goodput versus
 // tag population under plain TDMA polling and under SDM grouping.
 func E7MultiTag(tb *Testbed, seed int64) (*Table, error) {
+	return e7MultiTag(Exec{}, tb, seed)
+}
+
+// e7MultiTag's trial grid is the population axis: each shard builds its
+// own fleets and seeds its own runs, so shards share no state.
+func e7MultiTag(x Exec, tb *Testbed, seed int64) (*Table, error) {
 	tb = tb.orDefault()
 	t := &Table{
 		ID:    "E7",
@@ -71,7 +76,9 @@ func E7MultiTag(tb *Testbed, seed int64) (*Table, error) {
 		Header: []string{"tags", "discovered", "tdma_goodput_Mbps",
 			"sdm_goodput_Mbps", "sdm_groups"},
 	}
-	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+	grid := []int{1, 2, 4, 8, 16, 32}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		n := grid[shard]
 		runOnce := func(sdm bool) (*sim.InventoryReport, error) {
 			net, err := buildFleet(tb, n, seed)
 			if err != nil {
@@ -91,7 +98,11 @@ func E7MultiTag(tb *Testbed, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, tdma.Discovered, tdma.GoodputBps/1e6, sdm.GoodputBps/1e6, sdm.SDMGroups)
+		return []row{{n, tdma.Discovered, tdma.GoodputBps / 1e6,
+			sdm.GoodputBps / 1e6, sdm.SDMGroups}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -99,13 +110,19 @@ func E7MultiTag(tb *Testbed, seed int64) (*Table, error) {
 // E10Discovery regenerates the discovery figure: beam-sweep inventory
 // latency and completeness versus tag population.
 func E10Discovery(tb *Testbed, seed int64) (*Table, error) {
+	return e10Discovery(Exec{}, tb, seed)
+}
+
+func e10Discovery(x Exec, tb *Testbed, seed int64) (*Table, error) {
 	tb = tb.orDefault()
 	t := &Table{
 		ID:     "E10",
 		Title:  "Discovery latency vs tag population",
 		Header: []string{"tags", "discovered", "latency_ms", "probes", "collisions"},
 	}
-	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+	grid := []int{1, 2, 4, 8, 16, 32}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		n := grid[shard]
 		net, err := buildFleet(tb, n, seed+77)
 		if err != nil {
 			return nil, err
@@ -117,8 +134,11 @@ func E10Discovery(tb *Testbed, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, rep.Discovered, rep.DiscoveryTime*1e3,
-			rep.MACStats.ProbesSent, rep.MACStats.Collisions)
+		return []row{{n, rep.Discovered, rep.DiscoveryTime * 1e3,
+			rep.MACStats.ProbesSent, rep.MACStats.Collisions}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -128,6 +148,10 @@ func E10Discovery(tb *Testbed, seed int64) (*Table, error) {
 // fixed-window ALOHA, and Q-adaptive ALOHA. Slots spent is the cost
 // metric (each slot is air time).
 func E14DiscoveryAblation(tb *Testbed, seed int64) (*Table, error) {
+	return e14DiscoveryAblation(Exec{}, tb, seed)
+}
+
+func e14DiscoveryAblation(x Exec, tb *Testbed, seed int64) (*Table, error) {
 	tb = tb.orDefault()
 	t := &Table{
 		ID:    "E14",
@@ -136,7 +160,9 @@ func E14DiscoveryAblation(tb *Testbed, seed int64) (*Table, error) {
 			"aloha2_found", "aloha2_slots", "adaptive_found", "adaptive_slots"},
 		Notes: []string{"fixed8 = default sweep discovery; aloha2 = undersized fixed window; adaptive = Q-style window scaling"},
 	}
-	for _, n := range []int{4, 16, 32} {
+	grid := []int{4, 16, 32}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		n := grid[shard]
 		type outcome struct{ found, slots int }
 		runWith := func(f func(st *mac.Station) outcome) (outcome, error) {
 			net, err := buildFleet(tb, n, seed+5)
@@ -171,8 +197,11 @@ func E14DiscoveryAblation(tb *Testbed, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, fixed.found, fixed.slots, aloha2.found, aloha2.slots,
-			adaptive.found, adaptive.slots)
+		return []row{{n, fixed.found, fixed.slots, aloha2.found, aloha2.slots,
+			adaptive.found, adaptive.slots}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -182,6 +211,10 @@ func E14DiscoveryAblation(tb *Testbed, seed int64) (*Table, error) {
 // depth while the MAC adapts and retransmits. Delivery stays high until
 // the episode exceeds even the robust rates' margin.
 func E15Blockage(tb *Testbed, seed int64) (*Table, error) {
+	return e15Blockage(Exec{}, tb, seed)
+}
+
+func e15Blockage(x Exec, tb *Testbed, seed int64) (*Table, error) {
 	tb = tb.orDefault()
 	t := &Table{
 		ID:    "E15",
@@ -190,7 +223,9 @@ func E15Blockage(tb *Testbed, seed int64) (*Table, error) {
 			"rate_changes", "goodput_Mbps"},
 		Notes: []string{"a human body at mmWave costs 20-40 dB; ride-through relies on dropping down the rate ladder"},
 	}
-	for _, depth := range []float64{0, 10, 20, 30, 40, 50} {
+	grid := []float64{0, 10, 20, 30, 40, 50}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		depth := grid[shard]
 		net, err := buildFleet(tb, 1, seed+3)
 		if err != nil {
 			return nil, err
@@ -216,8 +251,11 @@ func E15Blockage(tb *Testbed, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(depth, rep.DeliveryRatio(), rep.BlockedLost, rep.RateChanges,
-			rep.GoodputBps/1e6)
+		return []row{{depth, rep.DeliveryRatio(), rep.BlockedLost, rep.RateChanges,
+			rep.GoodputBps / 1e6}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -226,13 +264,19 @@ func E15Blockage(tb *Testbed, seed int64) (*Table, error) {
 // tags, aggregate SDM goodput scales with the number of concurrent
 // beams until the spatial-separation limit binds.
 func A2SDMChains(tb *Testbed, seed int64) (*Table, error) {
+	return a2SDMChains(Exec{}, tb, seed)
+}
+
+func a2SDMChains(x Exec, tb *Testbed, seed int64) (*Table, error) {
 	tb = tb.orDefault()
 	t := &Table{
 		ID:     "A2",
 		Title:  "SDM goodput vs AP RF-chain count (16 beam-separated tags)",
 		Header: []string{"chains", "goodput_Mbps", "slots_per_cycle"},
 	}
-	for _, chains := range []int{1, 2, 4, 8} {
+	grid := []int{1, 2, 4, 8}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		chains := grid[shard]
 		net, err := buildFleet(tb, 16, seed+21)
 		if err != nil {
 			return nil, err
@@ -246,90 +290,10 @@ func A2SDMChains(tb *Testbed, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(chains, rep.GoodputBps/1e6, rep.SDMGroups)
+		return []row{{chains, rep.GoodputBps / 1e6, rep.SDMGroups}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
-}
-
-// AllTables runs every experiment and returns the full paper-style
-// output set in experiment order.
-func AllTables(tb *Testbed, seed int64) ([]*Table, error) {
-	tb = tb.orDefault()
-	var out []*Table
-	add := func(t *Table, err error) error {
-		if err != nil {
-			return err
-		}
-		out = append(out, t)
-		return nil
-	}
-	if err := add(E1RetroPattern(tb)); err != nil {
-		return nil, fmt.Errorf("E1: %w", err)
-	}
-	if err := add(E2LinkBudget(tb)); err != nil {
-		return nil, fmt.Errorf("E2: %w", err)
-	}
-	if err := add(E3BERvsEbN0(seed)); err != nil {
-		return nil, fmt.Errorf("E3: %w", err)
-	}
-	if err := add(E4BERvsDistance(tb)); err != nil {
-		return nil, fmt.Errorf("E4: %w", err)
-	}
-	if err := add(E5Throughput(tb)); err != nil {
-		return nil, fmt.Errorf("E5: %w", err)
-	}
-	if err := add(E6AngleRobustness(tb)); err != nil {
-		return nil, fmt.Errorf("E6: %w", err)
-	}
-	if err := add(E7MultiTag(tb, seed)); err != nil {
-		return nil, fmt.Errorf("E7: %w", err)
-	}
-	if err := add(E8EnergyPerBit(tb)); err != nil {
-		return nil, fmt.Errorf("E8: %w", err)
-	}
-	if err := add(E9Cancellation(tb, seed)); err != nil {
-		return nil, fmt.Errorf("E9: %w", err)
-	}
-	if err := add(E10Discovery(tb, seed)); err != nil {
-		return nil, fmt.Errorf("E10: %w", err)
-	}
-	tables, err := E11SwitchLimit(tb, seed)
-	if err != nil {
-		return nil, fmt.Errorf("E11: %w", err)
-	}
-	out = append(out, tables...)
-	if err := add(E12CodedPER(seed)); err != nil {
-		return nil, fmt.Errorf("E12: %w", err)
-	}
-	if err := add(E13BatteryFree(tb)); err != nil {
-		return nil, fmt.Errorf("E13: %w", err)
-	}
-	if err := add(E14DiscoveryAblation(tb, seed)); err != nil {
-		return nil, fmt.Errorf("E14: %w", err)
-	}
-	if err := add(E15Blockage(tb, seed)); err != nil {
-		return nil, fmt.Errorf("E15: %w", err)
-	}
-	if err := add(E16Multipath(seed)); err != nil {
-		return nil, fmt.Errorf("E16: %w", err)
-	}
-	if err := add(E17Interference(tb, seed)); err != nil {
-		return nil, fmt.Errorf("E17: %w", err)
-	}
-	if err := add(E18RoomClutter(tb)); err != nil {
-		return nil, fmt.Errorf("E18: %w", err)
-	}
-	if err := add(A1RangeVsArraySize(tb)); err != nil {
-		return nil, fmt.Errorf("A1: %w", err)
-	}
-	if err := add(A2SDMChains(tb, seed)); err != nil {
-		return nil, fmt.Errorf("A2: %w", err)
-	}
-	if err := add(T2PowerBreakdown()); err != nil {
-		return nil, fmt.Errorf("T2: %w", err)
-	}
-	if err := add(T3EnergyCompare()); err != nil {
-		return nil, fmt.Errorf("T3: %w", err)
-	}
-	return out, nil
 }

@@ -17,6 +17,14 @@ import (
 // BER against the closed-form AWGN curves for every tag alphabet. The
 // ratio column should hover around 1.
 func E3BERvsEbN0(seed int64) (*Table, error) {
+	return e3BERvsEbN0(Exec{}, seed)
+}
+
+// e3BERvsEbN0 is an indivisible grid: one RNG stream deliberately
+// threads through every (modulation, Eb/N0) cell in row order, so
+// splitting it would change the published numbers. It runs as a single
+// shard and parallelizes only against its sibling experiments.
+func e3BERvsEbN0(x Exec, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	type modDef struct {
 		name   string
@@ -35,32 +43,39 @@ func E3BERvsEbN0(seed int64) (*Table, error) {
 		Title:  "Measured vs closed-form BER on AWGN",
 		Header: []string{"mod", "ebn0_dB", "ber_measured", "ber_theory", "ratio"},
 	}
-	for _, m := range mods {
-		c, err := phy.NewConstellation(m.name, m.set.States())
-		if err != nil {
-			return nil, err
-		}
-		for _, db := range []float64{2, 4, 6, 8, 10} {
-			ebn0 := rfmath.FromDB(db)
-			want := m.theory(ebn0)
-			nBits := 60000
-			if want < 1e-3 {
-				nBits = int(60 / want)
-			}
-			if nBits > 1_500_000 {
-				nBits = 1_500_000
-			}
-			res, err := phy.MeasureBER(c, ebn0, nBits, rng)
+	err := x.runGrid(t, 1, func(int) ([]row, error) {
+		var rows []row
+		for _, m := range mods {
+			c, err := phy.NewConstellation(m.name, m.set.States())
 			if err != nil {
 				return nil, err
 			}
-			got := res.Rate()
-			ratio := 0.0
-			if want > 0 {
-				ratio = got / want
+			for _, db := range []float64{2, 4, 6, 8, 10} {
+				ebn0 := rfmath.FromDB(db)
+				want := m.theory(ebn0)
+				nBits := 60000
+				if want < 1e-3 {
+					nBits = int(60 / want)
+				}
+				if nBits > 1_500_000 {
+					nBits = 1_500_000
+				}
+				res, err := phy.MeasureBER(c, ebn0, nBits, rng)
+				if err != nil {
+					return nil, err
+				}
+				got := res.Rate()
+				ratio := 0.0
+				if want > 0 {
+					ratio = got / want
+				}
+				rows = append(rows, row{m.name, db, got, want, ratio})
 			}
-			t.AddRow(m.name, db, got, want, ratio)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -71,6 +86,13 @@ func E3BERvsEbN0(seed int64) (*Table, error) {
 // with too little cancellation the tag echo falls below the converter's
 // quantization floor and the frame is lost.
 func E9Cancellation(tb *Testbed, seed int64) (*Table, error) {
+	return e9Cancellation(Exec{}, tb, seed)
+}
+
+// e9Cancellation's trial grid is the cancellation-depth axis; each
+// shard has always seeded its own RNG from the depth, so the sharded
+// rows are bit-identical to the historical serial loop.
+func e9Cancellation(x Exec, tb *Testbed, seed int64) (*Table, error) {
 	tb = tb.orDefault()
 	arr, err := tb.tagArray(0)
 	if err != nil {
@@ -96,7 +118,9 @@ func E9Cancellation(tb *Testbed, seed int64) (*Table, error) {
 			"sync_score", "evm", "decoded"},
 		Notes: []string{"AGC sets the ADC full scale to the composite signal; weak cancellation leaves the echo under the quantization floor"},
 	}
-	for _, cancelDB := range []float64{0, 10, 20, 30, 40, 50, 60} {
+	grid := []float64{0, 10, 20, 30, 40, 50, 60}
+	err = x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		cancelDB := grid[shard]
 		rng := rand.New(rand.NewSource(seed + int64(cancelDB)))
 		residualW := channel.SelfInterferencePowerW(tb.TxPowerW, isolationDB+cancelDB)
 		// Normalize the residual SI to amplitude 1; the echo scales
@@ -145,8 +169,11 @@ func E9Cancellation(tb *Testbed, seed int64) (*Table, error) {
 		quant := apx.Quantize(wave, peak)
 		res := dem.Demodulate(quant, 8)
 
-		t.AddRow(cancelDB, rfmath.DBm(residualW), rfmath.DB(echoW/residualW),
-			res.SyncScore, res.EVM, fmt.Sprintf("%v", res.OK()))
+		return []row{{cancelDB, rfmath.DBm(residualW), rfmath.DB(echoW / residualW),
+			res.SyncScore, res.EVM, fmt.Sprintf("%v", res.OK())}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -155,6 +182,13 @@ func E9Cancellation(tb *Testbed, seed int64) (*Table, error) {
 // and decode success versus symbol rate for a fixed switch rise time,
 // plus the design-rule maximum symbol rate for several switch classes.
 func E11SwitchLimit(tb *Testbed, seed int64) ([]*Table, error) {
+	return e11SwitchLimit(Exec{}, tb, seed)
+}
+
+// e11SwitchLimit shards the waveform sweep over the symbol-rate axis
+// (per-rate RNG seeding, as always); the closed-form design-rule table
+// is too cheap to shard.
+func e11SwitchLimit(x Exec, tb *Testbed, seed int64) ([]*Table, error) {
 	tb = tb.orDefault()
 	set := vanatta.BPSK()
 	c, err := phy.NewConstellation(set.Name(), set.States())
@@ -167,7 +201,9 @@ func E11SwitchLimit(tb *Testbed, seed int64) ([]*Table, error) {
 		Header: []string{"symbol_rate_MHz", "settled_fraction", "evm", "decoded"},
 	}
 	payload := []byte("switch limit sweep payload")
-	for _, rateMHz := range []float64{1, 5, 10, 20, 50, 100, 150, 200} {
+	grid := []float64{1, 5, 10, 20, 50, 100, 150, 200}
+	err = x.runGrid(sweep, len(grid), func(shard int) ([]row, error) {
+		rateMHz := grid[shard]
 		rng := rand.New(rand.NewSource(seed + int64(rateMHz)))
 		symbolRate := rateMHz * 1e6
 		dem, err := ap.NewDemodulator(c, 63, frame.Options{})
@@ -190,7 +226,10 @@ func E11SwitchLimit(tb *Testbed, seed int64) ([]*Table, error) {
 		}
 		channel.AWGN(rng, wave, 1e-8)
 		res := dem.Demodulate(wave, 8)
-		sweep.AddRow(rateMHz, mod.SettledFraction(), res.EVM, fmt.Sprintf("%v", res.OK()))
+		return []row{{rateMHz, mod.SettledFraction(), res.EVM, fmt.Sprintf("%v", res.OK())}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	classes := &Table{
@@ -211,6 +250,12 @@ func E11SwitchLimit(tb *Testbed, seed int64) ([]*Table, error) {
 // soft levels; the coded curves fall several dB earlier, with the soft
 // path earliest.
 func E12CodedPER(seed int64) (*Table, error) {
+	return e12CodedPER(Exec{}, seed)
+}
+
+// e12CodedPER's trial grid is the SNR axis — the suite's most
+// expensive experiment, and the one that profits most from sharding.
+func e12CodedPER(x Exec, seed int64) (*Table, error) {
 	const trials = 60
 	const payloadLen = 256
 	t := &Table{
@@ -228,7 +273,9 @@ func E12CodedPER(seed int64) (*Table, error) {
 		}
 		return out
 	}
-	for _, db := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+	grid := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	err := x.runGrid(t, len(grid), func(shard int) ([]row, error) {
+		db := grid[shard]
 		esn0 := rfmath.FromDB(db)
 		// BPSK in 0/1 level space: unit separation, hard-decision error
 		// Q(0.5/sigma) = Q(sqrt(2 Es/N0)).
@@ -269,8 +316,11 @@ func E12CodedPER(seed int64) (*Table, error) {
 				failSoft++
 			}
 		}
-		t.AddRow(db, float64(failUncoded)/trials, float64(failHard)/trials,
-			float64(failSoft)/trials)
+		return []row{{db, float64(failUncoded) / trials, float64(failHard) / trials,
+			float64(failSoft) / trials}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

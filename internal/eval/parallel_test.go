@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mmtag/internal/par"
+)
+
+// TestParallelMatchesSerial is the harness's central guarantee: for
+// every experiment in the suite, the sharded run is bit-identical to
+// the serial run at every pool size, for more than one seed. A
+// violation means some shard read state (usually RNG state) owned by a
+// sibling.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{42, 7} {
+		serialTabs, err := RunSuite(Exec{}, nil, seed)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		serialByID := map[string]string{}
+		for _, tab := range serialTabs {
+			serialByID[tab.ID] = tab.Render()
+		}
+		for _, workers := range []int{2, 8} {
+			t.Run(fmt.Sprintf("seed%d/workers%d", seed, workers), func(t *testing.T) {
+				pool := par.New(par.Config{Workers: workers})
+				defer pool.Close()
+				parTabs, err := RunSuite(Exec{Pool: pool}, nil, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(parTabs) != len(serialTabs) {
+					t.Fatalf("parallel produced %d tables, serial %d", len(parTabs), len(serialTabs))
+				}
+				for i, tab := range parTabs {
+					if want := serialTabs[i].ID; tab.ID != want {
+						t.Fatalf("table %d is %s, serial had %s: suite order not preserved", i, tab.ID, want)
+					}
+					if got, want := tab.Render(), serialByID[tab.ID]; got != want {
+						t.Errorf("experiment %s diverges at %d workers:\n--- serial ---\n%s--- parallel ---\n%s",
+							tab.ID, workers, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunExperimentMatchesSuite checks the single-experiment entry
+// point returns the same tables the full suite does, serial and
+// sharded.
+func TestRunExperimentMatchesSuite(t *testing.T) {
+	const seed = 42
+	suite, err := RunSuite(Exec{}, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]string{}
+	for _, tab := range suite {
+		byID[tab.ID] = tab.Render()
+	}
+	pool := par.New(par.Config{Workers: 4})
+	defer pool.Close()
+	for _, id := range []string{"E7", "e12", "E11", "T3"} { // case-insensitive
+		tabs, err := RunExperiment(Exec{Pool: pool}, id, nil, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, tab := range tabs {
+			if got, want := tab.Render(), byID[tab.ID]; got != want {
+				t.Errorf("%s: single-experiment run diverges from suite", tab.ID)
+			}
+		}
+	}
+	if _, err := RunExperiment(Exec{}, "E99", nil, seed); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+// TestSuiteCancellation checks a cancelled context aborts the suite
+// with ctx.Err() instead of hanging or returning partial tables.
+func TestSuiteCancellation(t *testing.T) {
+	pool := par.New(par.Config{Workers: 2})
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSuite(Exec{Pool: pool, Ctx: ctx}, nil, 42); err == nil {
+		t.Fatal("cancelled suite must error")
+	}
+}
+
+// TestExperimentIDsMatchSuiteOrder pins the registry order to the
+// historical report order.
+func TestExperimentIDsMatchSuiteOrder(t *testing.T) {
+	want := []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"A1", "A2", "T2", "T3",
+	}
+	got := ExperimentIDs()
+	if len(got) != len(want) {
+		t.Fatalf("ExperimentIDs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ID %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

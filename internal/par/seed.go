@@ -1,0 +1,46 @@
+// Package par is the simulator's parallel-execution substrate: a
+// bounded work-stealing pool (Pool) that fans independent shards across
+// workers with the submitting goroutine helping, plus a deterministic
+// seed-derivation scheme (Derive) that gives every shard an independent
+// RNG stream whose output does not depend on scheduling order.
+//
+// A nil *Pool is a valid "serial" pool: Map on it runs shards in order
+// on the calling goroutine, so code can thread one possibly-nil handle
+// and get byte-identical results at any parallelism.
+package par
+
+import "math/rand"
+
+// splitmix64 constants (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014). goldenGamma is the odd
+// increment 2^64/phi; the other two are the finalizer multipliers.
+const (
+	goldenGamma = 0x9e3779b97f4a7c15
+	mixMul1     = 0xbf58476d1ce4e5b9
+	mixMul2     = 0x94d049bb133111eb
+)
+
+// Derive maps a root seed and a shard ID to the shard's private RNG
+// seed using the splitmix64 finalizer. Both maps are bijections: for a
+// fixed root, distinct shards never collide (goldenGamma is odd, so
+// shard -> root + gamma*(shard+1) is injective mod 2^64, and the
+// finalizer permutes uint64), and for a fixed shard, distinct roots
+// never collide. The result depends only on (root, shard) — never on
+// which worker runs the shard or when — which is what makes sharded
+// Monte-Carlo runs reproducible at any parallelism.
+func Derive(root int64, shard uint64) int64 {
+	z := uint64(root) + goldenGamma*(shard+1)
+	z ^= z >> 30
+	z *= mixMul1
+	z ^= z >> 27
+	z *= mixMul2
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Rand returns the shard's private RNG stream, seeded by Derive. Each
+// shard must draw only from its own stream for scheduling-independent
+// results.
+func Rand(root int64, shard uint64) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(root, shard)))
+}

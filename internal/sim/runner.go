@@ -7,6 +7,7 @@ import (
 
 	"mmtag/internal/mac"
 	"mmtag/internal/obs"
+	"mmtag/internal/par"
 	"mmtag/internal/tag"
 	"mmtag/internal/trace"
 )
@@ -36,6 +37,9 @@ type InventoryConfig struct {
 	// final registry snapshot lands on InventoryReport.Metrics. A nil
 	// handle keeps the run allocation-free.
 	Obs *obs.Handle
+	// Pool shards multi-replicate sweeps (RunSweep) across workers. A
+	// single RunInventory is one serial scenario and ignores it.
+	Pool *par.Pool
 }
 
 // InventoryReport summarizes an inventory run.

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mmtag/internal/par"
+)
+
+// SweepConfig parameterizes a multi-seed replicate sweep: the same
+// scenario re-run under Replicates independent RNG streams derived from
+// Base.Seed, so confidence intervals come from seed diversity rather
+// than one lucky stream.
+type SweepConfig struct {
+	// Base is the per-replicate scenario. Its Seed is the sweep's root
+	// seed; replicate i runs with par.Derive(Seed, i). Trace and Obs
+	// must be nil — a sweep's replicates run concurrently and the
+	// single-run sinks are not meaningfully mergeable.
+	Base InventoryConfig
+	// Replicates is how many independent runs to execute (must be > 0).
+	Replicates int
+	// NewNetwork builds a fresh network per replicate. Replicates run
+	// concurrently on Base.Pool, so sharing one Network (whose MAC and
+	// energy meters mutate during a run) would race; the factory keeps
+	// every replicate hermetic.
+	NewNetwork func() (*Network, error)
+	// Ctx cancels the sweep early; nil means never.
+	Ctx context.Context
+}
+
+// Replicate is one finished run of a sweep.
+type Replicate struct {
+	Index  int
+	Seed   int64 // derived seed the run actually used
+	Report *InventoryReport
+}
+
+// SweepReport aggregates a replicate sweep. All aggregates are computed
+// in replicate-index order, so the report is identical at any pool
+// size.
+type SweepReport struct {
+	RootSeed   int64
+	Replicates []Replicate
+
+	GoodputMeanBps   float64
+	GoodputStdDevBps float64 // sample std-dev (0 for a single replicate)
+	MeanDiscovered   float64
+	FramesOK         int
+	FramesLost       int
+}
+
+// RunSweep executes cfg.Replicates independent inventory runs, sharded
+// across cfg.Base.Pool (serial when nil). Replicate i derives its seed
+// as par.Derive(Base.Seed, i) — a schedule-independent stream — and the
+// results merge by ascending index, so the report is byte-identical
+// whatever the worker count.
+func RunSweep(cfg SweepConfig) (*SweepReport, error) {
+	if cfg.NewNetwork == nil {
+		return nil, fmt.Errorf("sim: sweep requires a NewNetwork factory")
+	}
+	if cfg.Replicates <= 0 {
+		return nil, fmt.Errorf("sim: sweep replicates must be positive (got %d)", cfg.Replicates)
+	}
+	if cfg.Base.Trace != nil || cfg.Base.Obs != nil {
+		return nil, fmt.Errorf("sim: sweep replicates cannot share a Trace or Obs sink")
+	}
+	reps := make([]Replicate, cfg.Replicates)
+	err := cfg.Base.Pool.Map(cfg.Ctx, cfg.Replicates, func(i int) error {
+		run := cfg.Base
+		run.Seed = par.Derive(cfg.Base.Seed, uint64(i))
+		run.Pool = nil
+		net, err := cfg.NewNetwork()
+		if err != nil {
+			return fmt.Errorf("replicate %d: %w", i, err)
+		}
+		rep, err := RunInventory(net, run)
+		if err != nil {
+			return fmt.Errorf("replicate %d: %w", i, err)
+		}
+		reps[i] = Replicate{Index: i, Seed: run.Seed, Report: rep}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepReport{RootSeed: cfg.Base.Seed, Replicates: reps}
+	var goodputSum, discSum float64
+	for _, r := range reps {
+		goodputSum += r.Report.GoodputBps
+		discSum += float64(r.Report.Discovered)
+		out.FramesOK += r.Report.FramesOK
+		out.FramesLost += r.Report.FramesLost
+	}
+	n := float64(len(reps))
+	out.GoodputMeanBps = goodputSum / n
+	out.MeanDiscovered = discSum / n
+	if len(reps) > 1 {
+		var ss float64
+		for _, r := range reps {
+			d := r.Report.GoodputBps - out.GoodputMeanBps
+			ss += d * d
+		}
+		out.GoodputStdDevBps = math.Sqrt(ss / (n - 1))
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mmtag/internal/ap"
+	"mmtag/internal/obs"
+	"mmtag/internal/par"
+	"mmtag/internal/tag"
+	"mmtag/internal/trace"
+	"mmtag/internal/vanatta"
+)
+
+// sweepFactory returns a NewNetwork closure placing n tags across the
+// sector. It builds everything through error returns (no t.Fatal)
+// because sweeps invoke it from pool worker goroutines.
+func sweepFactory(t *testing.T, n int) func() (*Network, error) {
+	t.Helper()
+	return func() (*Network, error) {
+		a, err := ap.New(ap.Config{})
+		if err != nil {
+			return nil, err
+		}
+		net, err := NewNetwork(a, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			arr, err := vanatta.New(vanatta.Config{Elements: 8, InsertionLossDB: 1.5})
+			if err != nil {
+				return nil, err
+			}
+			tg, err := tag.New(tag.Config{
+				ID:             uint8(i + 1),
+				Array:          arr,
+				Modulation:     vanatta.OOK(),
+				SwitchRiseTime: 2e-9,
+			})
+			if err != nil {
+				return nil, err
+			}
+			az := -40.0 + 80.0*float64(i)/float64(max(n-1, 1))
+			if err := net.AddTag(Placement{Device: tg, DistanceM: 2.5, AzimuthRad: Deg(az)}); err != nil {
+				return nil, err
+			}
+		}
+		return net, nil
+	}
+}
+
+// TestRunSweepEdgeCasesSerialParallelAgree drives the sweep through
+// configuration corners (empty network, defaulted duration, more RF
+// chains than tags, negative root seed) and demands, for each, that a
+// pooled sweep reproduces the serial sweep exactly and that the serial
+// sweep is itself deterministic.
+func TestRunSweepEdgeCasesSerialParallelAgree(t *testing.T) {
+	cases := []struct {
+		name string
+		tags int
+		base InventoryConfig
+	}{
+		{"zero_tags", 0, InventoryConfig{Duration: 0.02, Seed: 42}},
+		{"zero_duration_defaults", 1, InventoryConfig{Seed: 42}},
+		{"chains_exceed_tags", 2, InventoryConfig{Duration: 0.02, Seed: 42, SDM: true, SDMChains: 8}},
+		{"negative_seed", 3, InventoryConfig{Duration: 0.02, Seed: -42}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const replicates = 3
+			serial := func() *SweepReport {
+				rep, err := RunSweep(SweepConfig{
+					Base:       tc.base,
+					Replicates: replicates,
+					NewNetwork: sweepFactory(t, tc.tags),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			first, second := serial(), serial()
+			if !reflect.DeepEqual(first, second) {
+				t.Fatal("serial sweep is not deterministic")
+			}
+			pool := par.New(par.Config{Workers: 4})
+			defer pool.Close()
+			base := tc.base
+			base.Pool = pool
+			pooled, err := RunSweep(SweepConfig{
+				Base:       base,
+				Replicates: replicates,
+				NewNetwork: sweepFactory(t, tc.tags),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The recorded config differs only in the transient Pool
+			// pointer; the reports themselves must match exactly.
+			if !reflect.DeepEqual(first, pooled) {
+				t.Fatalf("pooled sweep diverges from serial:\nserial: %+v\npooled: %+v", first, pooled)
+			}
+			for i, r := range pooled.Replicates {
+				if r.Index != i {
+					t.Fatalf("replicate %d has index %d", i, r.Index)
+				}
+				if want := par.Derive(tc.base.Seed, uint64(i)); r.Seed != want {
+					t.Fatalf("replicate %d seed %d, want Derive(%d, %d) = %d",
+						i, r.Seed, tc.base.Seed, i, want)
+				}
+				if r.Report == nil {
+					t.Fatalf("replicate %d has no report", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunSweepAggregates checks the index-order aggregation matches a
+// hand recomputation from the replicate reports.
+func TestRunSweepAggregates(t *testing.T) {
+	rep, err := RunSweep(SweepConfig{
+		Base:       InventoryConfig{Duration: 0.02, Seed: 7},
+		Replicates: 4,
+		NewNetwork: sweepFactory(t, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	framesOK := 0
+	for _, r := range rep.Replicates {
+		sum += r.Report.GoodputBps
+		framesOK += r.Report.FramesOK
+	}
+	if got, want := rep.GoodputMeanBps, sum/4; got != want {
+		t.Fatalf("mean goodput %g, want %g", got, want)
+	}
+	if rep.FramesOK != framesOK {
+		t.Fatalf("frames ok %d, want %d", rep.FramesOK, framesOK)
+	}
+	if rep.FramesOK == 0 {
+		t.Fatal("sweep delivered no frames")
+	}
+	if rep.GoodputStdDevBps < 0 {
+		t.Fatalf("negative std dev %g", rep.GoodputStdDevBps)
+	}
+	seeds := map[int64]bool{}
+	for _, r := range rep.Replicates {
+		seeds[r.Seed] = true
+	}
+	if len(seeds) != 4 {
+		t.Fatalf("replicate seeds not distinct: %v", seeds)
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	factory := sweepFactory(t, 1)
+	for name, cfg := range map[string]SweepConfig{
+		"nil_factory":     {Base: InventoryConfig{}, Replicates: 2},
+		"zero_replicates": {Base: InventoryConfig{}, Replicates: 0, NewNetwork: factory},
+		"trace_sink":      {Base: InventoryConfig{Trace: trace.NewRecorder(16)}, Replicates: 2, NewNetwork: factory},
+		"obs_sink":        {Base: InventoryConfig{Obs: obs.NewHandle(obs.NewRegistry(), nil)}, Replicates: 2, NewNetwork: factory},
+	} {
+		if _, err := RunSweep(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRunSweepReplicateErrorIsDeterministic checks a failing replicate
+// surfaces with its index regardless of pool size.
+func TestRunSweepReplicateErrorIsDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			var pool *par.Pool
+			if workers > 1 {
+				pool = par.New(par.Config{Workers: workers})
+				defer pool.Close()
+			}
+			_, err := RunSweep(SweepConfig{
+				Base:       InventoryConfig{Duration: 0.01, Seed: 1, Pool: pool},
+				Replicates: 4,
+				NewNetwork: func() (*Network, error) {
+					return nil, fmt.Errorf("factory refused")
+				},
+			})
+			if err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

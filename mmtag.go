@@ -22,6 +22,7 @@ import (
 	"mmtag/internal/channel"
 	"mmtag/internal/mac"
 	"mmtag/internal/obs"
+	"mmtag/internal/par"
 	"mmtag/internal/rfmath"
 	"mmtag/internal/sim"
 	"mmtag/internal/tag"
@@ -241,6 +242,48 @@ func (s *System) Run(cfg RunConfig) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// SweepReport aggregates a multi-seed replicate sweep; see
+// sim.SweepReport for field documentation.
+type SweepReport = sim.SweepReport
+
+// SweepReplicate is one finished run of a sweep.
+type SweepReplicate = sim.Replicate
+
+// Sweep re-runs the same scenario under `replicates` independent RNG
+// streams derived from cfg.Seed, sharded across `workers` goroutines
+// (serial when workers <= 1). build must return a freshly-constructed
+// System each call — replicates run concurrently and a System mutates
+// during a run. The report is identical at any worker count.
+//
+// cfg.Trace, cfg.TraceJSONL and cfg.CollectMetrics are single-run
+// sinks and must be unset.
+func Sweep(build func() (*System, error), cfg RunConfig, replicates, workers int) (*SweepReport, error) {
+	if build == nil {
+		return nil, fmt.Errorf("mmtag: sweep requires a build function")
+	}
+	if cfg.Trace != nil || cfg.TraceJSONL != nil || cfg.CollectMetrics {
+		return nil, fmt.Errorf("mmtag: sweep cannot trace or collect metrics (single-run sinks)")
+	}
+	pool := par.New(par.Config{Workers: workers})
+	defer pool.Close()
+	return sim.RunSweep(sim.SweepConfig{
+		Base: sim.InventoryConfig{
+			Duration: cfg.Duration,
+			SDM:      cfg.SDM,
+			Seed:     cfg.Seed,
+			Pool:     pool,
+		},
+		Replicates: replicates,
+		NewNetwork: func() (*sim.Network, error) {
+			sys, err := build()
+			if err != nil {
+				return nil, err
+			}
+			return sys.net, nil
+		},
+	})
 }
 
 // EnergyPerBit returns the tag energy per uplink bit (joules) at a bit

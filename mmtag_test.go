@@ -35,6 +35,64 @@ func TestAddTagValidation(t *testing.T) {
 	}
 }
 
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	build := func() (*System, error) {
+		sys, err := NewSystem(SystemConfig{})
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < 4; j++ {
+			if err := sys.AddTag(TagSpec{
+				ID:         uint8(j + 1),
+				DistanceM:  2 + float64(j),
+				AzimuthDeg: -30 + float64(j)*20,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return sys, nil
+	}
+	cfg := RunConfig{Duration: 0.02, Seed: 42}
+	serial, err := Sweep(build, cfg, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(build, cfg, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Replicates) != 3 || len(parallel.Replicates) != 3 {
+		t.Fatalf("replicates %d / %d, want 3", len(serial.Replicates), len(parallel.Replicates))
+	}
+	if serial.GoodputMeanBps != parallel.GoodputMeanBps ||
+		serial.GoodputStdDevBps != parallel.GoodputStdDevBps ||
+		serial.MeanDiscovered != parallel.MeanDiscovered ||
+		serial.FramesOK != parallel.FramesOK {
+		t.Fatalf("sweep aggregates depend on worker count:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	for i := range serial.Replicates {
+		if serial.Replicates[i].Seed != parallel.Replicates[i].Seed {
+			t.Fatalf("replicate %d seeds differ", i)
+		}
+	}
+	if serial.GoodputMeanBps <= 0 || serial.MeanDiscovered == 0 {
+		t.Fatalf("sweep produced no traffic: %+v", serial)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	build := func() (*System, error) { return NewSystem(SystemConfig{}) }
+	if _, err := Sweep(nil, RunConfig{}, 2, 1); err == nil {
+		t.Fatal("nil build must error")
+	}
+	if _, err := Sweep(build, RunConfig{CollectMetrics: true}, 2, 1); err == nil {
+		t.Fatal("metrics sink must error")
+	}
+	if _, err := Sweep(build, RunConfig{}, 0, 1); err == nil {
+		t.Fatal("zero replicates must error")
+	}
+}
+
 func TestLinkReport(t *testing.T) {
 	sys, _ := NewSystem(SystemConfig{})
 	sys.AddTag(TagSpec{ID: 1, DistanceM: 2})
