@@ -40,7 +40,8 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E18, A1, A2, T2, T3, or all)")
+	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E18, A1, A2, R1..R3, T2, T3, or all)")
+	faults := flag.Bool("faults", false, "run only the chaos-soak experiments (R1..R3)")
 	seed := flag.Int64("seed", 42, "seed for Monte-Carlo experiments")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment pool (1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -60,7 +61,14 @@ func main() {
 	pool := par.New(par.Config{Workers: *parallel, Registry: reg})
 	defer pool.Close()
 	x := eval.Exec{Pool: pool}
-	tables, err := runMetered(x, *experiment, *seed, reg)
+	id := *experiment
+	if *faults {
+		if id != "all" {
+			fail(fmt.Errorf("-faults selects the chaos suite; drop -experiment %s", id))
+		}
+		id = "chaos"
+	}
+	tables, err := runMetered(x, id, *seed, reg)
 	if err != nil {
 		fail(err)
 	}
@@ -127,6 +135,8 @@ func runMetered(x eval.Exec, id string, seed int64, reg *obs.Registry) ([]*eval.
 	ids := []string{id}
 	if strings.EqualFold(id, "all") {
 		ids = eval.ExperimentIDs()
+	} else if strings.EqualFold(id, "chaos") {
+		ids = eval.ChaosExperimentIDs()
 	}
 	results := make([][]*eval.Table, len(ids))
 	err := x.Pool.Map(x.Ctx, len(ids), func(i int) error {
@@ -213,11 +223,23 @@ func writeProfiles(dir string, w io.Writer) error {
 }
 
 // run dispatches to the eval suite: "all" shards experiments across
-// x.Pool, a single ID runs just that experiment (its trial grid still
-// shards across the pool).
+// x.Pool, "chaos" runs the fault-injection soaks (R1..R3), a single ID
+// runs just that experiment (its trial grid still shards across the
+// pool).
 func run(x eval.Exec, id string, seed int64) ([]*eval.Table, error) {
 	if strings.EqualFold(id, "all") {
 		return eval.RunSuite(x, nil, seed)
+	}
+	if strings.EqualFold(id, "chaos") {
+		var out []*eval.Table
+		for _, cid := range eval.ChaosExperimentIDs() {
+			tables, err := eval.RunExperiment(x, cid, nil, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tables...)
+		}
+		return out, nil
 	}
 	return eval.RunExperiment(x, id, nil, seed)
 }

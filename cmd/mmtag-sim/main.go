@@ -50,6 +50,7 @@ type options struct {
 	modulation    string
 	sdm           bool
 	seed          int64
+	faults        string // fault-injection spec ("" = none)
 	sweep         int    // replicate count (0 = single run)
 	parallel      int    // sweep worker count
 	trace         string // event log path ("" = off)
@@ -69,6 +70,8 @@ func main() {
 	flag.StringVar(&o.modulation, "modulation", "ook", "tag alphabet: ook, bpsk, qpsk, 16qam")
 	flag.BoolVar(&o.sdm, "sdm", false, "enable space-division multiplexing")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&o.faults, "faults", "",
+		"fault-injection spec, e.g. 'blockage=30,death=0.25,ackloss=0.2' (keys: blockage dB, clear s, blocked s, death prob, lifetime s, brownout dBm, period s, ackloss prob, snr dB)")
 	flag.IntVar(&o.sweep, "sweep", 0, "run N replicates under seeds derived from -seed and report mean±std (0 = single run)")
 	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "worker count for -sweep replicates (1 = serial)")
 	flag.StringVar(&o.trace, "trace", "", "write the event/span log to this file (JSONL when it ends in .jsonl/.json)")
@@ -104,8 +107,12 @@ func run(o options) error {
 		return err
 	}
 
-	fmt.Fprintf(o.out, "mmtag-sim: %d tags, duration %.3gs, modulation %s, sdm=%v, seed %d\n\n",
+	fmt.Fprintf(o.out, "mmtag-sim: %d tags, duration %.3gs, modulation %s, sdm=%v, seed %d\n",
 		o.tags, o.duration, o.modulation, o.sdm, o.seed)
+	if o.faults != "" {
+		fmt.Fprintf(o.out, "faults: %s\n", o.faults)
+	}
+	fmt.Fprintln(o.out)
 
 	// Per-tag link budgets before running.
 	fmt.Fprintln(o.out, "link budgets:")
@@ -122,6 +129,7 @@ func run(o options) error {
 		Duration:       o.duration,
 		SDM:            o.sdm,
 		Seed:           o.seed,
+		Faults:         o.faults,
 		CollectMetrics: o.metrics != "",
 	}
 	var traceFile *os.File
@@ -161,6 +169,26 @@ func run(o options) error {
 		fmt.Fprintf(o.out, "  tag energy        %.2f nJ/bit\n", rep.EnergyPerBitJ*1e9)
 	}
 	fmt.Fprintf(o.out, "  wall clock        %s\n", wall)
+
+	if rec := rep.Recovery; rec != nil {
+		fmt.Fprintln(o.out, "\nfault recovery:")
+		fmt.Fprintf(o.out, "  delivery ratio    %.3f\n", rec.DeliveryRatio)
+		fmt.Fprintf(o.out, "  tags dead         %d\n", rec.TagsDead)
+		fmt.Fprintf(o.out, "  evictions         %d (rediscovered %d", rec.Evictions, rec.Rediscoveries)
+		if rec.Rediscoveries > 0 {
+			fmt.Fprintf(o.out, ", mean %.1f / max %d cycles to recover",
+				rec.MeanRecoveryCycles, rec.MaxRecoveryCycles)
+		}
+		fmt.Fprintln(o.out, ")")
+		fmt.Fprintf(o.out, "  degraded picks    %d\n", rec.DegradedPicks)
+		fmt.Fprintf(o.out, "  ack losses        %d (%d duplicate frames absorbed)\n",
+			rec.AckLosses, rec.DuplicateFrames)
+		fmt.Fprintf(o.out, "  skips             %d budget, %d backoff\n",
+			rec.BudgetSkips, rec.BackoffSkips)
+		fmt.Fprintf(o.out, "  fault events      %d blockage, %d death, %d brownout, %d acks dropped\n",
+			rec.Faults.BlockageTransitions, rec.Faults.Deaths,
+			rec.Faults.BrownoutTransitions, rec.Faults.AcksDropped)
+	}
 
 	// Per-tag energy, sorted by ID.
 	ids := make([]int, 0, len(rep.EnergyPerTagJ))
@@ -218,10 +246,14 @@ func runSweep(o options) error {
 	if o.trace != "" || o.metrics != "" || o.pprofDir != "" {
 		return fmt.Errorf("-sweep cannot be combined with -trace, -metrics or -pprof (single-run sinks)")
 	}
-	fmt.Fprintf(o.out, "mmtag-sim: sweep of %d replicates (root seed %d): %d tags, duration %.3gs, modulation %s, sdm=%v\n\n",
+	fmt.Fprintf(o.out, "mmtag-sim: sweep of %d replicates (root seed %d): %d tags, duration %.3gs, modulation %s, sdm=%v\n",
 		o.sweep, o.seed, o.tags, o.duration, o.modulation, o.sdm)
+	if o.faults != "" {
+		fmt.Fprintf(o.out, "faults: %s\n", o.faults)
+	}
+	fmt.Fprintln(o.out)
 	rep, err := mmtag.Sweep(func() (*mmtag.System, error) { return buildSystem(o) },
-		mmtag.RunConfig{Duration: o.duration, SDM: o.sdm, Seed: o.seed},
+		mmtag.RunConfig{Duration: o.duration, SDM: o.sdm, Seed: o.seed, Faults: o.faults},
 		o.sweep, o.parallel)
 	if err != nil {
 		return err

@@ -220,3 +220,80 @@ func TestRunPprofCapture(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFaultsSmoke drives the CLI's fault-injection path end to end:
+// the spec parses, the header echoes it, the recovery block prints, and
+// the faulted output is deterministic run to run.
+func TestRunFaultsSmoke(t *testing.T) {
+	render := func() string {
+		o := baseOptions()
+		o.tags = 6
+		o.duration = 0.05
+		o.faults = "blockage=30,ackloss=0.2,death=0.25"
+		o.seed = 42
+		buf := &bytes.Buffer{}
+		o.out = buf
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		// The wall-clock line reports real elapsed time; mask it so the
+		// comparison covers only simulation results.
+		lines := strings.Split(buf.String(), "\n")
+		for i, l := range lines {
+			if strings.Contains(l, "wall clock") {
+				lines[i] = "  wall clock        <masked>"
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	out := render()
+	for _, want := range []string{
+		"faults: blockage=30,ackloss=0.2,death=0.25",
+		"fault recovery:",
+		"delivery ratio",
+		"fault events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faulted output missing %q:\n%s", want, out)
+		}
+	}
+	if again := render(); again != out {
+		t.Errorf("faulted run not deterministic:\n--- first ---\n%s--- second ---\n%s", out, again)
+	}
+
+	// A malformed spec fails loudly.
+	o := baseOptions()
+	o.faults = "blockage=lots"
+	if err := run(o); err == nil {
+		t.Error("bad fault spec must error")
+	}
+}
+
+// TestRunFaultedSweepParallelIndependent extends the sweep determinism
+// guarantee to faulted runs: same seed + same plan means byte-identical
+// output at any worker count.
+func TestRunFaultedSweepParallelIndependent(t *testing.T) {
+	render := func(workers int) string {
+		o := baseOptions()
+		o.tags = 5
+		o.duration = 0.03
+		o.sweep = 3
+		o.parallel = workers
+		o.faults = "blockage=25,death=0.3"
+		buf := &bytes.Buffer{}
+		o.out = buf
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	if !strings.Contains(serial, "faults: blockage=25,death=0.3") {
+		t.Fatalf("faulted sweep output missing spec header:\n%s", serial)
+	}
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); got != serial {
+			t.Errorf("faulted sweep at %d workers differs from serial", workers)
+		}
+	}
+}

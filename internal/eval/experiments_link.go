@@ -124,7 +124,7 @@ func E5Throughput(tb *Testbed) (*Table, error) {
 			l := tb.link(arr, d, 0, r.Mod.Efficiency)
 			return mustSNR(l, r.SymbolRate())
 		}
-		r, err := mac.PickRate(table, 0.01, airBits, snrFor)
+		r, _, err := mac.PickRate(table, 0.01, airBits, snrFor)
 		if err != nil {
 			return nil, err
 		}

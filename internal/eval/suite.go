@@ -49,6 +49,9 @@ func Experiments() []Experiment {
 		{"E18", one(func(x Exec, tb *Testbed, _ int64) (*Table, error) { return E18RoomClutter(tb) })},
 		{"A1", one(func(x Exec, tb *Testbed, _ int64) (*Table, error) { return A1RangeVsArraySize(tb) })},
 		{"A2", one(func(x Exec, tb *Testbed, seed int64) (*Table, error) { return a2SDMChains(x, tb, seed) })},
+		{"R1", one(func(x Exec, tb *Testbed, seed int64) (*Table, error) { return r1BurstBlockage(x, tb, seed) })},
+		{"R2", one(func(x Exec, tb *Testbed, seed int64) (*Table, error) { return r2TagChurn(x, tb, seed) })},
+		{"R3", one(func(x Exec, tb *Testbed, seed int64) (*Table, error) { return r3AckLoss(x, tb, seed) })},
 		{"T2", one(func(x Exec, _ *Testbed, _ int64) (*Table, error) { return T2PowerBreakdown() })},
 		{"T3", one(func(x Exec, _ *Testbed, _ int64) (*Table, error) { return T3EnergyCompare() })},
 	}
@@ -64,6 +67,18 @@ func ExperimentIDs() []string {
 	return ids
 }
 
+// ChaosExperimentIDs returns the fault-injection soak subset (R1-R3) in
+// report order — what mmtag-bench -faults runs.
+func ChaosExperimentIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		if strings.HasPrefix(e.ID, "R") {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
 // RunExperiment runs one experiment by (case-insensitive) ID on x.
 func RunExperiment(x Exec, id string, tb *Testbed, seed int64) ([]*Table, error) {
 	tb = tb.orDefault()
@@ -72,7 +87,7 @@ func RunExperiment(x Exec, id string, tb *Testbed, seed int64) ([]*Table, error)
 			return e.Run(x, tb, seed)
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E18, A1, A2, T2, T3, all)", id)
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E18, A1, A2, R1..R3, T2, T3, all)", id)
 }
 
 // RunSuite runs every experiment and returns the full paper-style table

@@ -1,0 +1,339 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mmtag/internal/mac"
+	"mmtag/internal/obs"
+	"mmtag/internal/par"
+	"mmtag/internal/rfmath"
+)
+
+// Stream coordinates: each (fault kind, tag ID) pair owns a private
+// RNG stream seeded by par.Derive(runSeed, kind<<8|tag). Kinds start at
+// 1 so the coordinates never collide with the small shard indices the
+// sweep layer derives replicate seeds from.
+const (
+	kindBlockage = 1 + iota
+	kindDeath
+	kindBrownout
+	kindAckLoss
+	kindSNRNoise
+)
+
+func streamFor(seed int64, kind int, tagID uint8) *rand.Rand {
+	return par.Rand(seed, uint64(kind)<<8|uint64(tagID))
+}
+
+// Event reports one fault transition for tracing.
+type Event struct {
+	// T is the simulation time of the transition (for lazily observed
+	// transitions such as brownout edges, the time it was noticed).
+	T float64
+	// Tag is the affected tag.
+	Tag uint8
+	// Kind names the fault process ("blockage", "death", "brownout").
+	Kind string
+	// Detail is a short human-readable annotation.
+	Detail string
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	// BlockageTransitions counts Gilbert–Elliott state flips observed.
+	BlockageTransitions int
+	// Deaths counts tags whose permanent death the run reached.
+	Deaths int
+	// BrownoutTransitions counts awake/starved edges observed.
+	BrownoutTransitions int
+	// AcksDropped counts AP→tag ACKs the feedback path lost.
+	AcksDropped int
+	// SNRCorrupted counts SNR queries answered with a corrupted value.
+	SNRCorrupted int
+}
+
+// tagFault is one tag's private fault state.
+type tagFault struct {
+	// Gilbert–Elliott chain, advanced lazily against the clock.
+	blocked  bool
+	nextFlip float64
+	blockRNG *rand.Rand
+
+	deathT    float64 // +Inf when the tag survives the run
+	deathSeen bool
+
+	phase   float64 // brownout phase offset in [0, PeriodS)
+	starved bool    // last observed brownout state
+
+	ackRNG *rand.Rand
+	snrRNG *rand.Rand
+}
+
+// Injector applies a Plan by wrapping a mac.Medium: the MAC sees the
+// faulted radio, the inner medium stays pristine. An Injector is
+// single-run state — build a fresh one per scenario (they are cheap)
+// and never share one across goroutines. Determinism: all draws come
+// from per-(kind, tag) streams derived from the seed, and the
+// Gilbert–Elliott chains advance on the simulation clock, so a run's
+// fault history is a pure function of (seed, plan, query sequence).
+type Injector struct {
+	plan    Plan
+	inner   mac.Medium
+	now     func() float64
+	onEvent func(Event)
+	tags    map[uint8]*tagFault
+	duty    float64 // brownout awake fraction
+	stats   Stats
+	m       *injectorMetrics
+}
+
+type injectorMetrics struct {
+	events *obs.CounterVec // fault_events_total{kind}
+	acks   *obs.Counter    // fault_ack_drops_total
+}
+
+// NewInjector builds the per-run fault state for every tag the inner
+// medium knows about. The seed should be the run's root seed; fault
+// streams are derived from it, so they are independent of the MAC's own
+// contention/PER stream.
+func NewInjector(plan Plan, seed int64, inner mac.Medium) (*Injector, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("fault: inner medium is required")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Blockage != nil {
+		plan.Blockage = plan.Blockage.withDefaults()
+	}
+	if plan.Death != nil {
+		plan.Death = plan.Death.withDefaults()
+	}
+	if plan.Brownout != nil {
+		plan.Brownout = plan.Brownout.withDefaults()
+	}
+	x := &Injector{
+		plan:  plan,
+		inner: inner,
+		now:   func() float64 { return 0 },
+		tags:  make(map[uint8]*tagFault),
+	}
+	if plan.Brownout != nil {
+		x.duty = plan.Brownout.DutyCycle()
+	}
+	ids := append([]uint8(nil), inner.Tags()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		tf := &tagFault{deathT: math.Inf(1)}
+		if b := plan.Blockage; b != nil {
+			tf.blockRNG = streamFor(seed, kindBlockage, id)
+			tf.nextFlip = expDraw(tf.blockRNG, b.MeanClearS)
+		}
+		if d := plan.Death; d != nil {
+			rng := streamFor(seed, kindDeath, id)
+			if rng.Float64() < d.Prob {
+				tf.deathT = expDraw(rng, d.MeanLifetimeS)
+			}
+		}
+		if b := plan.Brownout; b != nil {
+			rng := streamFor(seed, kindBrownout, id)
+			tf.phase = rng.Float64() * b.PeriodS
+		}
+		if plan.AckLoss != nil {
+			tf.ackRNG = streamFor(seed, kindAckLoss, id)
+		}
+		if plan.SNRNoise != nil {
+			tf.snrRNG = streamFor(seed, kindSNRNoise, id)
+		}
+		x.tags[id] = tf
+	}
+	return x, nil
+}
+
+// expDraw samples an exponential dwell with the given mean (degenerate
+// zero-mean dwells collapse to instant flips, bounded below to keep the
+// chain advancing).
+func expDraw(rng *rand.Rand, mean float64) float64 {
+	d := rng.ExpFloat64() * mean
+	if d < 1e-9 {
+		d = 1e-9
+	}
+	return d
+}
+
+// SetClock wires the simulation clock the time-driven faults (blockage
+// chains, death, brownout) advance against. Queries must come with
+// non-decreasing time; the lazily advanced chains depend on it.
+func (x *Injector) SetClock(now func() float64) {
+	if now != nil {
+		x.now = now
+	}
+}
+
+// OnEvent registers a transition callback (tracing). Nil disables.
+func (x *Injector) OnEvent(fn func(Event)) { x.onEvent = fn }
+
+// Instrument meters fault activity into the registry. Nil no-ops.
+func (x *Injector) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	x.m = &injectorMetrics{
+		events: reg.CounterVec("fault_events_total",
+			"Fault transitions injected, by fault kind.", "kind"),
+		acks: reg.Counter("fault_ack_drops_total",
+			"AP→tag ACKs dropped by the fault plan."),
+	}
+}
+
+// Stats returns the fault counters accumulated so far.
+func (x *Injector) Stats() Stats { return x.stats }
+
+// Plan returns the effective plan (defaults resolved).
+func (x *Injector) Plan() Plan { return x.plan }
+
+// DeadBy returns the IDs of tags whose permanent death time is at or
+// before t, sorted ascending.
+func (x *Injector) DeadBy(t float64) []uint8 {
+	var out []uint8
+	for id, tf := range x.tags {
+		// deathT is +Inf for survivors, so the comparison must exclude
+		// it even when the caller passes t = +Inf.
+		if !math.IsInf(tf.deathT, 1) && tf.deathT <= t {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (x *Injector) emit(t float64, id uint8, kind, detail string) {
+	if x.m != nil {
+		x.m.events.With(kind).Inc()
+	}
+	if x.onEvent != nil {
+		x.onEvent(Event{T: t, Tag: id, Kind: kind, Detail: detail})
+	}
+}
+
+// Tags implements mac.Medium. Dead tags stay listed — the MAC must
+// discover absence the hard way, by probes going unanswered.
+func (x *Injector) Tags() []uint8 { return x.inner.Tags() }
+
+// SNR implements mac.Medium: the inner link budget filtered through the
+// plan's fault processes at the current simulation time.
+func (x *Injector) SNR(tagID uint8, beamRad float64, r mac.Rate) (float64, bool) {
+	t := x.now()
+	tf := x.tags[tagID]
+	if tf == nil {
+		// A tag placed after the injector was built carries no fault
+		// state; pass it through untouched.
+		return x.inner.SNR(tagID, beamRad, r)
+	}
+	if x.dead(tf, tagID, t) || x.starved(tf, tagID, t) {
+		return 0, false
+	}
+	snr, audible := x.inner.SNR(tagID, beamRad, r)
+	if !audible {
+		return 0, false
+	}
+	if b := x.plan.Blockage; b != nil && x.blockedAt(tf, tagID, t) {
+		snr *= rfmath.FromDB(-b.AttenuationDB)
+	}
+	if s := x.plan.SNRNoise; s != nil && s.SigmaDB > 0 {
+		snr *= rfmath.FromDB(tf.snrRNG.NormFloat64() * s.SigmaDB)
+		x.stats.SNRCorrupted++
+	}
+	return snr, true
+}
+
+// AckLost implements mac.AckLossMedium: whether the ACK for a frame
+// just delivered by tagID fails to reach the tag.
+func (x *Injector) AckLost(tagID uint8) bool {
+	a := x.plan.AckLoss
+	if a == nil || a.Prob <= 0 {
+		return false
+	}
+	tf := x.tags[tagID]
+	if tf == nil {
+		return false
+	}
+	if tf.ackRNG.Float64() >= a.Prob {
+		return false
+	}
+	x.stats.AcksDropped++
+	if x.m != nil {
+		x.m.acks.Inc()
+	}
+	return true
+}
+
+// dead reports (and on first observation, announces) permanent death.
+func (x *Injector) dead(tf *tagFault, id uint8, t float64) bool {
+	if t < tf.deathT {
+		return false
+	}
+	if !tf.deathSeen {
+		tf.deathSeen = true
+		x.stats.Deaths++
+		x.emit(tf.deathT, id, "death", "permanent")
+	}
+	return true
+}
+
+// starved reports whether the tag is browned out at t: awake for the
+// duty-cycle fraction of each period, starved for the rest, with the
+// tag's private phase offset.
+func (x *Injector) starved(tf *tagFault, id uint8, t float64) bool {
+	b := x.plan.Brownout
+	if b == nil {
+		return false
+	}
+	var out bool
+	switch {
+	case x.duty >= 1:
+		out = false
+	case x.duty <= 0:
+		out = true
+	default:
+		pos := math.Mod(t-tf.phase, b.PeriodS)
+		if pos < 0 {
+			pos += b.PeriodS
+		}
+		out = pos >= x.duty*b.PeriodS
+	}
+	if out != tf.starved {
+		tf.starved = out
+		x.stats.BrownoutTransitions++
+		detail := "awake"
+		if out {
+			detail = fmt.Sprintf("starved (duty %.2f)", x.duty)
+		}
+		x.emit(t, id, "brownout", detail)
+	}
+	return out
+}
+
+// blockedAt advances the tag's Gilbert–Elliott chain to t and returns
+// its state. Flips are consumed in time order from the tag's private
+// stream, so the chain's whole trajectory is fixed at seed time.
+func (x *Injector) blockedAt(tf *tagFault, id uint8, t float64) bool {
+	b := x.plan.Blockage
+	for t >= tf.nextFlip {
+		at := tf.nextFlip
+		tf.blocked = !tf.blocked
+		x.stats.BlockageTransitions++
+		mean := b.MeanClearS
+		detail := "end"
+		if tf.blocked {
+			mean = b.MeanBlockedS
+			detail = fmt.Sprintf("start %.0f dB", b.AttenuationDB)
+		}
+		tf.nextFlip = at + expDraw(tf.blockRNG, mean)
+		x.emit(at, id, "blockage", detail)
+	}
+	return tf.blocked
+}

@@ -95,7 +95,7 @@ func (s *Station) DiscoverAloha(cfg AlohaConfig) AlohaResult {
 				i := idxs[0]
 				rec := &TagRecord{ID: responders[i], BeamRad: beam, SNR: snrs[i]}
 				s.refineBeam(rec)
-				s.known[responders[i]] = rec
+				s.adopt(rec)
 				res.Found++
 			}
 			res.EmptySlots += window - collisions - singles

@@ -91,23 +91,29 @@ func TestDefaultRateTableOrdering(t *testing.T) {
 func TestPickRateAdaptsToSNR(t *testing.T) {
 	table := DefaultRateTable()
 	airBits := 1000
-	// High SNR: the top rate wins.
-	high, err := PickRate(table, 0.01, airBits, func(r Rate) float64 { return rfmath.FromDB(30) })
+	// High SNR: the top rate wins, not degraded.
+	high, deg, err := PickRate(table, 0.01, airBits, func(r Rate) float64 { return rfmath.FromDB(30) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if high.Goodput() != table[len(table)-1].Goodput() {
 		t.Fatalf("at 30 dB picked %v", high)
 	}
+	if deg {
+		t.Fatal("30 dB pick must not be degraded")
+	}
 	// Low SNR: a robust low rate.
-	low, _ := PickRate(table, 0.01, airBits, func(r Rate) float64 { return rfmath.FromDB(5) })
+	low, _, _ := PickRate(table, 0.01, airBits, func(r Rate) float64 { return rfmath.FromDB(5) })
 	if low.Goodput() >= high.Goodput() {
 		t.Fatal("low SNR must pick a slower rate")
 	}
-	// Hopeless SNR: falls back to the most robust entry.
-	floor, _ := PickRate(table, 0.01, airBits, func(r Rate) float64 { return rfmath.FromDB(-20) })
+	// Hopeless SNR: falls back to the most robust entry, flagged degraded.
+	floor, deg, _ := PickRate(table, 0.01, airBits, func(r Rate) float64 { return rfmath.FromDB(-20) })
 	if floor.Goodput() != 0.5e6 {
 		t.Fatalf("fallback picked %v", floor)
+	}
+	if !deg {
+		t.Fatal("hopeless SNR pick must be degraded")
 	}
 }
 
@@ -116,7 +122,7 @@ func TestPickRateMonotoneProperty(t *testing.T) {
 	prev := -1.0
 	for snrDB := -5.0; snrDB <= 35; snrDB += 2 {
 		snr := rfmath.FromDB(snrDB)
-		r, err := PickRate(table, 0.01, 1000, func(Rate) float64 { return snr })
+		r, _, err := PickRate(table, 0.01, 1000, func(Rate) float64 { return snr })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,10 +134,10 @@ func TestPickRateMonotoneProperty(t *testing.T) {
 }
 
 func TestPickRateValidation(t *testing.T) {
-	if _, err := PickRate(nil, 0.01, 100, nil); err == nil {
+	if _, _, err := PickRate(nil, 0.01, 100, nil); err == nil {
 		t.Fatal("empty table must error")
 	}
-	if _, err := PickRate(DefaultRateTable(), 0, 100, func(Rate) float64 { return 1 }); err == nil {
+	if _, _, err := PickRate(DefaultRateTable(), 0, 100, func(Rate) float64 { return 1 }); err == nil {
 		t.Fatal("zero target must error")
 	}
 }

@@ -139,13 +139,18 @@ func DefaultRateTable() []Rate {
 // frames of airBits stays at or below targetPER, given a function that
 // maps a candidate rate to its link SNR (the SNR depends on the rate:
 // wider noise bandwidth and alphabet efficiency both move it).
-// It returns the lowest (most robust) rate when nothing meets target.
-func PickRate(table []Rate, targetPER float64, airBits int, snrFor func(Rate) float64) (Rate, error) {
+//
+// When no rate meets target — an attenuated, blocked or browned-out
+// tag — it never errors: it falls back to the most robust usable rate
+// and reports degraded=true, so the caller's tag is slow rather than
+// invisible. Errors are reserved for configuration mistakes (empty
+// table, nonsensical target).
+func PickRate(table []Rate, targetPER float64, airBits int, snrFor func(Rate) float64) (r Rate, degraded bool, err error) {
 	if len(table) == 0 {
-		return Rate{}, fmt.Errorf("mac: empty rate table")
+		return Rate{}, false, fmt.Errorf("mac: empty rate table")
 	}
 	if targetPER <= 0 || targetPER >= 1 {
-		return Rate{}, fmt.Errorf("mac: target PER must be in (0,1), got %g", targetPER)
+		return Rate{}, false, fmt.Errorf("mac: target PER must be in (0,1), got %g", targetPER)
 	}
 	best := -1
 	bestGoodput := -math.MaxFloat64
@@ -175,6 +180,7 @@ func PickRate(table []Rate, targetPER float64, airBits int, snrFor func(Rate) fl
 		if best < 0 {
 			best = mostRobust(func(Rate) bool { return true })
 		}
+		return table[best], true, nil
 	}
-	return table[best], nil
+	return table[best], false, nil
 }

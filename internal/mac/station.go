@@ -24,6 +24,18 @@ type Medium interface {
 	Tags() []uint8
 }
 
+// AckLossMedium is the optional Medium extension a fault injector
+// implements: it decides, per frame the AP just received, whether the
+// AP→tag ACK is lost on the feedback path. A lost ACK makes the tag
+// retransmit a frame the AP already holds, which the ARQ loop must
+// absorb as a duplicate.
+type AckLossMedium interface {
+	Medium
+	// AckLost reports whether the ACK for the frame just delivered by
+	// tagID fails to reach the tag.
+	AckLost(tagID uint8) bool
+}
+
 // StationConfig parameterizes the AP-side MAC.
 type StationConfig struct {
 	// Beams is the discovery codebook (radians).
@@ -47,6 +59,15 @@ type StationConfig struct {
 	// PollPayloadBytes is the uplink payload each poll solicits (64
 	// default).
 	PollPayloadBytes int
+	// Health tunes the per-tag health state machine (suspect/lost
+	// tracking, backoff, eviction). The zero value disables it,
+	// preserving the never-forget MAC exactly.
+	Health HealthConfig
+	// CycleBudgetS caps the uplink air time one poll cycle may spend;
+	// once a cycle's polls have consumed it, remaining tags are skipped
+	// (and counted) so one degraded tag cannot starve the round. Zero
+	// means unlimited.
+	CycleBudgetS float64
 	// Obs, when non-nil with a registry attached, meters MAC activity
 	// (polls, retries, contention, per-tag SNR). Nil keeps the hot path
 	// allocation-free.
@@ -83,6 +104,7 @@ func (c StationConfig) withDefaults() StationConfig {
 	if c.PollPayloadBytes == 0 {
 		c.PollPayloadBytes = 64
 	}
+	c.Health = c.Health.withDefaults()
 	return c
 }
 
@@ -99,11 +121,21 @@ type TagRecord struct {
 
 // Station is the AP-side MAC entity.
 type Station struct {
-	cfg    StationConfig
-	medium Medium
-	rng    *rand.Rand
-	known  map[uint8]*TagRecord
-	m      *stationMetrics // nil when uninstrumented
+	cfg       StationConfig
+	medium    Medium
+	ackMedium AckLossMedium // medium's ACK-loss view, nil when absent
+	rng       *rand.Rand
+	known     map[uint8]*TagRecord
+	m         *stationMetrics // nil when uninstrumented
+
+	// Health bookkeeping (see health.go). The health map outlives the
+	// roster so rediscovery latency can be measured across eviction.
+	health         map[uint8]*healthState
+	healthEvents   []HealthTransition
+	recoveryRounds []int
+	round          int     // poll cycles begun
+	cycleSpent     float64 // air time charged to the current cycle
+	rosterV        int     // roster change counter
 
 	// Stats accumulates counters across operations.
 	Stats Stats
@@ -123,6 +155,13 @@ type stationMetrics struct {
 	airtime    *obs.Counter    // mac_airtime_seconds_total
 	pollAir    *obs.Histogram  // mac_poll_airtime_seconds
 	snr        *obs.HistogramVec
+
+	health      *obs.CounterVec // mac_health_transitions_total{tag,to}
+	recovery    *obs.Histogram  // mac_recovery_rounds
+	degraded    *obs.Counter    // mac_degraded_picks_total
+	dups        *obs.Counter    // mac_duplicate_frames_total
+	ackLosses   *obs.Counter    // mac_ack_losses_total
+	budgetSkips *obs.Counter    // mac_budget_skips_total
 }
 
 func newStationMetrics(reg *obs.Registry) *stationMetrics {
@@ -152,6 +191,20 @@ func newStationMetrics(reg *obs.Registry) *stationMetrics {
 		snr: reg.HistogramVec("phy_snr_db",
 			"Uplink SNR measured at the selected rate, by tag (dB).",
 			obs.LinearBuckets(-10, 5, 14), "tag"),
+		health: reg.CounterVec("mac_health_transitions_total",
+			"Tag health state transitions, by tag and destination state.",
+			"tag", "to"),
+		recovery: reg.Histogram("mac_recovery_rounds",
+			"Poll cycles between a tag's eviction and its rediscovery.",
+			obs.ExponentialBuckets(1, 2, 10)),
+		degraded: reg.Counter("mac_degraded_picks_total",
+			"Rate selections that fell back below the PER target."),
+		dups: reg.Counter("mac_duplicate_frames_total",
+			"Duplicate uplink frames absorbed after ACK loss."),
+		ackLosses: reg.Counter("mac_ack_losses_total",
+			"AP→tag ACKs lost on the feedback path."),
+		budgetSkips: reg.Counter("mac_budget_skips_total",
+			"Polls skipped because the cycle airtime budget was spent."),
 	}
 }
 
@@ -165,6 +218,16 @@ type Stats struct {
 	Retransmissions int
 	BitsDelivered   int64
 	AirTimeSeconds  float64
+
+	// Degradation and recovery accounting (fault-injected runs).
+	PollErrors      int // PollCycle polls that returned an error
+	DegradedPicks   int // rate selections below the PER target
+	AckLosses       int // AP→tag ACKs lost
+	DuplicateFrames int // duplicate frames absorbed after ACK loss
+	BudgetSkips     int // polls skipped: cycle airtime budget spent
+	BackoffSkips    int // polls skipped: suspect tag backing off
+	Evictions       int // tags declared lost and evicted
+	Rediscoveries   int // evicted tags recovered by a later discovery
 }
 
 // NewStation builds a station over a medium. The rng drives contention
@@ -180,13 +243,18 @@ func NewStation(cfg StationConfig, medium Medium, rng *rand.Rand) (*Station, err
 	if len(cfg.Beams) == 0 {
 		return nil, fmt.Errorf("mac: at least one discovery beam is required")
 	}
-	return &Station{
+	s := &Station{
 		cfg:    cfg,
 		medium: medium,
 		rng:    rng,
 		known:  make(map[uint8]*TagRecord),
+		health: make(map[uint8]*healthState),
 		m:      newStationMetrics(cfg.Obs.Registry()),
-	}, nil
+	}
+	if am, ok := medium.(AckLossMedium); ok {
+		s.ackMedium = am
+	}
+	return s, nil
 }
 
 // Known returns the discovered tags sorted by ID.
@@ -199,8 +267,12 @@ func (s *Station) Known() []TagRecord {
 	return out
 }
 
-// Forget clears the discovery state.
-func (s *Station) Forget() { s.known = make(map[uint8]*TagRecord) }
+// Forget clears the discovery state, including health bookkeeping.
+func (s *Station) Forget() {
+	s.known = make(map[uint8]*TagRecord)
+	s.health = make(map[uint8]*healthState)
+	s.rosterV++
+}
 
 // probeAirBits is the discovery probe response size (a TypeProbe frame
 // with a 4-byte payload).
@@ -265,7 +337,7 @@ func (s *Station) Discover() int {
 				i := idxs[0]
 				rec := &TagRecord{ID: responders[i], BeamRad: beam, SNR: snrs[i]}
 				s.refineBeam(rec)
-				s.known[responders[i]] = rec
+				s.adopt(rec)
 				found++
 				if s.m != nil {
 					s.m.discovered.Inc()
@@ -313,17 +385,26 @@ type PollResult struct {
 	// SNRdB is the uplink SNR measured on the last transmission attempt
 	// at the selected rate (-inf when the tag was inaudible).
 	SNRdB float64
+	// Degraded marks a rate selection that could not meet the PER
+	// target and fell back to the most robust rate.
+	Degraded bool
+	// Duplicates counts retransmissions of an already-received frame
+	// the AP absorbed because its ACK was lost.
+	Duplicates int
 }
 
 // Poll solicits one uplink frame from a known tag with link adaptation
-// and stop-and-wait ARQ. The air time accounts every attempt.
+// and stop-and-wait ARQ. The air time accounts every attempt. When the
+// medium can lose the AP→tag ACK (AckLossMedium), a delivered frame
+// whose ACK is lost is retransmitted by the tag and absorbed here as a
+// duplicate — counted, air time charged, information bits counted once.
 func (s *Station) Poll(id uint8) (PollResult, error) {
 	rec, ok := s.known[id]
 	if !ok {
 		return PollResult{}, fmt.Errorf("mac: tag %d not discovered", id)
 	}
 	airBits := frame.AirBits(s.cfg.PollPayloadBytes, frame.Options{})
-	rate, err := PickRate(s.cfg.RateTable, s.cfg.TargetPER, airBits, func(r Rate) float64 {
+	rate, degraded, err := PickRate(s.cfg.RateTable, s.cfg.TargetPER, airBits, func(r Rate) float64 {
 		snr, audible := s.medium.SNR(id, rec.BeamRad, r)
 		if !audible {
 			return 0
@@ -333,19 +414,54 @@ func (s *Station) Poll(id uint8) (PollResult, error) {
 	if err != nil {
 		return PollResult{}, err
 	}
-	res := PollResult{TagID: id, Rate: rate, SNRdB: math.Inf(-1)}
+	res := PollResult{TagID: id, Rate: rate, SNRdB: math.Inf(-1), Degraded: degraded}
+	if degraded {
+		s.Stats.DegradedPicks++
+		if s.m != nil {
+			s.m.degraded.Inc()
+		}
+	}
 	airBits = frame.AirBits(s.cfg.PollPayloadBytes, frame.Options{Coded: rate.Coded})
 	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
 		res.Attempts++
 		res.AirTime += float64(airBits) / rate.BitRate
 		snr, audible := s.medium.SNR(id, rec.BeamRad, rate)
+		if !audible && s.healthEnabled() {
+			// A completely silent tag (dead, browned out, deep-blocked)
+			// cannot NACK, so retransmitting into the void just burns
+			// air time; one probe poll suffices and the health machine
+			// owns the recovery schedule.
+			break
+		}
 		if audible {
 			res.SNRdB = 10 * math.Log10(snr)
 			per := rate.FramePER(snr, airBits)
 			if s.rng.Float64() >= per {
-				res.Delivered = true
-				res.Bits = s.cfg.PollPayloadBytes * 8
-				break
+				// Frame received. First reception delivers the payload;
+				// later ones are duplicates of a frame whose ACK the
+				// tag never heard.
+				if !res.Delivered {
+					res.Delivered = true
+					res.Bits = s.cfg.PollPayloadBytes * 8
+				} else {
+					res.Duplicates++
+					s.Stats.DuplicateFrames++
+					if s.m != nil {
+						s.m.dups.Inc()
+					}
+				}
+				if s.ackMedium == nil || !s.ackMedium.AckLost(id) {
+					break
+				}
+				s.Stats.AckLosses++
+				if s.m != nil {
+					s.m.ackLosses.Inc()
+				}
+				if attempt == s.cfg.MaxRetries {
+					break // tag's retry budget is spent; it stops resending
+				}
+				s.Stats.Retransmissions++
+				continue
 			}
 		}
 		if attempt < s.cfg.MaxRetries {
@@ -359,6 +475,7 @@ func (s *Station) Poll(id uint8) (PollResult, error) {
 		s.Stats.FramesLost++
 	}
 	s.Stats.AirTimeSeconds += res.AirTime
+	s.cycleSpent += res.AirTime
 	if s.m != nil {
 		tagLabel := obs.U8(id)
 		s.m.polls.With(tagLabel, obs.OK(res.Delivered)).Inc()
@@ -372,17 +489,29 @@ func (s *Station) Poll(id uint8) (PollResult, error) {
 			s.m.snr.With(tagLabel).Observe(res.SNRdB)
 		}
 	}
+	s.noteOutcome(id, res.Delivered)
 	return res, nil
 }
 
 // PollCycle polls every known tag once in ID order (TDMA round) and
-// returns the results.
+// returns the results. Tags the health machine is backing off from and
+// polls beyond the cycle airtime budget are skipped; per-tag poll
+// errors are counted in Stats.PollErrors and under mac_polls_total with
+// ok="error" instead of being silently dropped.
 func (s *Station) PollCycle() []PollResult {
+	s.BeginCycle()
 	tags := s.Known()
 	out := make([]PollResult, 0, len(tags))
 	for _, rec := range tags {
+		if !s.ShouldPoll(rec.ID) {
+			continue
+		}
 		res, err := s.Poll(rec.ID)
 		if err != nil {
+			s.Stats.PollErrors++
+			if s.m != nil {
+				s.m.polls.With(obs.U8(rec.ID), "error").Inc()
+			}
 			continue
 		}
 		out = append(out, res)

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBlockedAtEdgeCases pins the half-open [Start, End) semantics of
+// mobility blockage lookup across malformed event lists: overlapping
+// episodes (first listed wins), zero-length episodes (never block),
+// out-of-order lists, and inverted intervals.
+func TestBlockedAtEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		events   []BlockageEvent
+		t        float64
+		wantLoss float64
+		wantHit  bool
+	}{
+		{"empty list", nil, 1, 0, false},
+		{"inside", []BlockageEvent{{Start: 1, End: 2, AttenuationDB: 30}}, 1.5, 30, true},
+		{"start boundary included", []BlockageEvent{{Start: 1, End: 2, AttenuationDB: 30}}, 1, 30, true},
+		{"end boundary excluded", []BlockageEvent{{Start: 1, End: 2, AttenuationDB: 30}}, 2, 0, false},
+		{"before", []BlockageEvent{{Start: 1, End: 2, AttenuationDB: 30}}, 0.5, 0, false},
+		{"zero-length never blocks", []BlockageEvent{{Start: 1, End: 1, AttenuationDB: 30}}, 1, 0, false},
+		{"inverted interval never blocks", []BlockageEvent{{Start: 2, End: 1, AttenuationDB: 30}}, 1.5, 0, false},
+		{"overlap first listed wins",
+			[]BlockageEvent{{Start: 1, End: 3, AttenuationDB: 20}, {Start: 2, End: 4, AttenuationDB: 40}},
+			2.5, 20, true},
+		{"out-of-order list still matches",
+			[]BlockageEvent{{Start: 5, End: 6, AttenuationDB: 10}, {Start: 1, End: 2, AttenuationDB: 25}},
+			1.5, 25, true},
+		{"gap between episodes",
+			[]BlockageEvent{{Start: 1, End: 2, AttenuationDB: 10}, {Start: 3, End: 4, AttenuationDB: 10}},
+			2.5, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loss, hit := blockedAt(tc.events, tc.t)
+			if hit != tc.wantHit || loss != tc.wantLoss {
+				t.Fatalf("blockedAt(%v, %g) = (%g, %v), want (%g, %v)",
+					tc.events, tc.t, loss, hit, tc.wantLoss, tc.wantHit)
+			}
+		})
+	}
+}
+
+// FuzzBlockedAt cross-checks blockedAt against its specification on
+// arbitrary three-event lists: the result must be the first listed
+// event containing t under half-open [Start, End) semantics.
+func FuzzBlockedAt(f *testing.F) {
+	f.Add(0.5, 0.0, 1.0, 20.0, 1.0, 2.0, 30.0, 0.5, 0.7, 40.0)
+	f.Add(1.0, 1.0, 1.0, 20.0, 2.0, 1.0, 30.0, -1.0, 5.0, 40.0) // zero-length + inverted
+	f.Add(2.0, 3.0, 4.0, 10.0, 1.0, 2.5, 15.0, 2.0, 2.0, 5.0)   // out of order
+	f.Fuzz(func(t *testing.T, at, s1, e1, a1, s2, e2, a2, s3, e3, a3 float64) {
+		events := []BlockageEvent{
+			{Start: s1, End: e1, AttenuationDB: a1},
+			{Start: s2, End: e2, AttenuationDB: a2},
+			{Start: s3, End: e3, AttenuationDB: a3},
+		}
+		loss, hit := blockedAt(events, at)
+		// Specification: first event with at in [Start, End).
+		wantLoss, wantHit := 0.0, false
+		for _, e := range events {
+			if at >= e.Start && at < e.End {
+				wantLoss, wantHit = e.AttenuationDB, true
+				break
+			}
+		}
+		if hit != wantHit || !sameFloat(loss, wantLoss) {
+			t.Fatalf("blockedAt(%v, %g) = (%g, %v), want (%g, %v)",
+				events, at, loss, hit, wantLoss, wantHit)
+		}
+		if !hit && loss != 0 {
+			t.Fatalf("miss must report zero attenuation, got %g", loss)
+		}
+	})
+}
+
+// sameFloat treats NaN as equal to itself so fuzzed attenuations
+// compare cleanly.
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mmtag/internal/fault"
+	"mmtag/internal/par"
+	"mmtag/internal/rfmath"
+)
+
+func chaosPlan() *fault.Plan {
+	return &fault.Plan{
+		Blockage: &fault.BlockagePlan{AttenuationDB: 30},
+		Death:    &fault.DeathPlan{Prob: 0.3, MeanLifetimeS: 0.02},
+		AckLoss:  &fault.AckLossPlan{Prob: 0.2},
+		SNRNoise: &fault.SNRNoisePlan{SigmaDB: 1},
+	}
+}
+
+// TestFaultedInventoryDeterminism: two faulted runs with the same seed
+// and plan produce identical reports — the fault substrate adds no
+// wall-clock or map-order dependence.
+func TestFaultedInventoryDeterminism(t *testing.T) {
+	runOnce := func() *InventoryReport {
+		net, err := sweepFactory(t, 5)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunInventory(net, InventoryConfig{
+			Duration: 0.03, Seed: 42, Faults: chaosPlan(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := runOnce(), runOnce()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulted runs diverge:\n%+v\n%+v", a, b)
+	}
+	if a.Recovery == nil {
+		t.Fatal("faulted run must carry a RecoveryReport")
+	}
+}
+
+// TestFaultedSweepParallelMatchesSerial pins the ISSUE's acceptance
+// criterion: a faulted sweep is byte-identical at -parallel 1 and 8.
+func TestFaultedSweepParallelMatchesSerial(t *testing.T) {
+	runAt := func(workers int) *SweepReport {
+		pool := par.New(par.Config{Workers: workers})
+		defer pool.Close()
+		rep, err := RunSweep(SweepConfig{
+			Base: InventoryConfig{
+				Duration: 0.03, Seed: 42, Faults: chaosPlan(), Pool: pool,
+			},
+			Replicates: 4,
+			NewNetwork: sweepFactory(t, 5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("faulted sweep diverges between 1 and 8 workers:\n%+v\n%+v", serial, parallel)
+	}
+	var sawRecovery bool
+	for _, r := range serial.Replicates {
+		if r.Report.Recovery != nil {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Fatal("no replicate carried a RecoveryReport")
+	}
+}
+
+// TestFaultedRunBoundedRecovery asserts the degradation SLOs on a
+// brownout scenario: tags get evicted while starved, rediscovered once
+// awake, and recovery latency stays bounded.
+func TestFaultedRunBoundedRecovery(t *testing.T) {
+	net, err := sweepFactory(t, 6)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunInventory(net, InventoryConfig{
+		Duration: 0.15,
+		Seed:     42,
+		Faults: &fault.Plan{Brownout: &fault.BrownoutPlan{
+			IncidentPowerW: rfmath.FromDBm(-9), PeriodS: 0.03,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := rep.Recovery
+	if rec == nil {
+		t.Fatal("missing RecoveryReport")
+	}
+	if rec.Evictions == 0 {
+		t.Fatal("deep brownout must evict starved tags")
+	}
+	if rec.Rediscoveries == 0 {
+		t.Fatal("awake tags must be rediscovered")
+	}
+	// Zero is legal (a tag evicted and re-swept within the same cycle);
+	// the SLO is that recovery latency stays bounded.
+	if rec.MaxRecoveryCycles < 0 || rec.MaxRecoveryCycles > 256 {
+		t.Fatalf("MaxRecoveryCycles = %d, want bounded in [0,256]", rec.MaxRecoveryCycles)
+	}
+	if rec.MeanRecoveryCycles < 0 || rec.MeanRecoveryCycles > float64(rec.MaxRecoveryCycles) {
+		t.Fatalf("MeanRecoveryCycles = %g inconsistent with max %d",
+			rec.MeanRecoveryCycles, rec.MaxRecoveryCycles)
+	}
+	if rec.DeliveryRatio < 0 || rec.DeliveryRatio > 1 {
+		t.Fatalf("DeliveryRatio = %g out of [0,1]", rec.DeliveryRatio)
+	}
+	if rec.Faults.BrownoutTransitions == 0 {
+		t.Fatal("brownout run observed no awake/starved edges")
+	}
+}
+
+// TestFaultPlanAbsentLeavesRunUntouched: a nil plan and an empty plan
+// both take the unfaulted path (no RecoveryReport, identical reports),
+// so pre-fault behavior is preserved bit for bit.
+func TestFaultPlanAbsentLeavesRunUntouched(t *testing.T) {
+	runWith := func(p *fault.Plan) *InventoryReport {
+		net, err := sweepFactory(t, 4)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunInventory(net, InventoryConfig{Duration: 0.02, Seed: 7, Faults: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	nilPlan := runWith(nil)
+	emptyPlan := runWith(&fault.Plan{})
+	if nilPlan.Recovery != nil || emptyPlan.Recovery != nil {
+		t.Fatal("unfaulted runs must not carry a RecoveryReport")
+	}
+	if !reflect.DeepEqual(nilPlan, emptyPlan) {
+		t.Fatal("empty plan diverges from nil plan")
+	}
+}

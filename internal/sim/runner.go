@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mmtag/internal/fault"
 	"mmtag/internal/mac"
 	"mmtag/internal/obs"
 	"mmtag/internal/par"
@@ -29,6 +30,15 @@ type InventoryConfig struct {
 	SDMChains int
 	// Seed drives all randomness.
 	Seed int64
+	// Faults, when non-nil and non-empty, wraps the network in a
+	// deterministic fault injector (internal/fault) and enables the
+	// MAC's graceful-degradation machinery: health tracking with
+	// eviction (DefaultHealthConfig unless Station.Health is set) and
+	// periodic rediscovery. Fault randomness derives from Seed.
+	Faults *fault.Plan
+	// RediscoverEvery is the number of poll cycles between rediscovery
+	// sweeps on faulted runs (8 default; only used when Faults is set).
+	RediscoverEvery int
 	// Trace, when non-nil, receives structured events (discoveries,
 	// polls, rate changes) for offline analysis.
 	Trace *trace.Recorder
@@ -60,6 +70,34 @@ type InventoryReport struct {
 	// Metrics is the run's final metrics snapshot, present when the run
 	// was configured with an observability handle.
 	Metrics *obs.Snapshot
+	// Recovery reports the fault/degradation SLOs; nil on unfaulted
+	// runs.
+	Recovery *RecoveryReport
+}
+
+// RecoveryReport summarizes how the MAC degraded and recovered under an
+// injected fault plan.
+type RecoveryReport struct {
+	// TagsDead is how many tags died permanently during the run.
+	TagsDead int
+	// Evictions and Rediscoveries count roster churn: tags declared
+	// lost, and lost tags later recovered by a rediscovery sweep.
+	Evictions     int
+	Rediscoveries int
+	// MeanRecoveryCycles and MaxRecoveryCycles summarize rediscovery
+	// latency: poll cycles between a tag's eviction and its recovery.
+	MeanRecoveryCycles float64
+	MaxRecoveryCycles  int
+	// DeliveryRatio is FramesOK / (FramesOK + FramesLost).
+	DeliveryRatio float64
+	// Degradation counters mirrored from mac.Stats.
+	DegradedPicks   int
+	AckLosses       int
+	DuplicateFrames int
+	BudgetSkips     int
+	BackoffSkips    int
+	// Faults holds the injector's transition counters.
+	Faults fault.Stats
 }
 
 // runnerMetrics pre-resolves the run-level instruments; nil when off.
@@ -124,12 +162,45 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 	if stCfg.Obs == nil {
 		stCfg.Obs = cfg.Obs
 	}
-	station, err := mac.NewStation(stCfg, n, rng)
+
+	eng := NewEngine()
+
+	// Fault plan: wrap the network so the MAC sees the faulted radio,
+	// and arm the degradation machinery (health tracking + rediscovery).
+	var medium mac.Medium = n
+	var inj *fault.Injector
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		var err error
+		inj, err = fault.NewInjector(*cfg.Faults, cfg.Seed, n)
+		if err != nil {
+			return nil, err
+		}
+		inj.SetClock(eng.Now)
+		if tr := cfg.Trace; tr != nil {
+			inj.OnEvent(func(e fault.Event) {
+				tr.Emit(trace.Event{
+					T:      e.T,
+					Kind:   trace.KindFault,
+					Tag:    e.Tag,
+					Detail: e.Kind + " " + e.Detail,
+				})
+			})
+		}
+		inj.Instrument(cfg.Obs.Registry())
+		medium = inj
+		if !stCfg.Health.Enabled() {
+			stCfg.Health = mac.DefaultHealthConfig()
+		}
+		if cfg.RediscoverEvery == 0 {
+			cfg.RediscoverEvery = 8
+		}
+	}
+
+	station, err := mac.NewStation(stCfg, medium, rng)
 	if err != nil {
 		return nil, err
 	}
 
-	eng := NewEngine()
 	m := newRunnerMetrics(cfg.Obs.Registry())
 	if m != nil {
 		eng.Instrument(cfg.Obs.Registry())
@@ -186,31 +257,36 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 	}
 
 	// Poll phase.
-	known := station.Known()
-	groups := [][]uint8{}
-	if cfg.SDM {
-		chains := cfg.SDMChains
-		if chains <= 0 {
-			chains = 4
-		}
-		ids := make([]uint8, len(known))
-		for i, k := range known {
-			ids[i] = k.ID
-		}
-		for _, g := range n.SDMGroups(ids, n.BeamSeparation()) {
-			// An AP with k RF chains serves at most k beams per slot.
-			for len(g) > chains {
-				groups = append(groups, g[:chains])
-				g = g[chains:]
+	computeGroups := func() [][]uint8 {
+		known := station.Known()
+		groups := [][]uint8{}
+		if cfg.SDM {
+			chains := cfg.SDMChains
+			if chains <= 0 {
+				chains = 4
 			}
-			groups = append(groups, g)
+			ids := make([]uint8, len(known))
+			for i, k := range known {
+				ids[i] = k.ID
+			}
+			for _, g := range n.SDMGroups(ids, n.BeamSeparation()) {
+				// An AP with k RF chains serves at most k beams per slot.
+				for len(g) > chains {
+					groups = append(groups, g[:chains])
+					g = g[chains:]
+				}
+				groups = append(groups, g)
+			}
+		} else {
+			for _, k := range known {
+				groups = append(groups, []uint8{k.ID})
+			}
 		}
-	} else {
-		for _, k := range known {
-			groups = append(groups, []uint8{k.ID})
-		}
+		return groups
 	}
+	groups := computeGroups()
 	rep.SDMGroups = len(groups)
+	rosterV := station.RosterVersion()
 
 	deadline := eng.Now() + cfg.Duration
 	spPoll := cfg.Obs.StartSpan("poll-phase", 0)
@@ -218,16 +294,24 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 	if cfg.Trace != nil {
 		lastRate = make(map[uint8]string)
 	}
-	for eng.Now() < deadline && len(known) > 0 {
+	// On faulted runs the roster shrinks (eviction) and regrows
+	// (rediscovery), so the loop keeps running through an empty roster
+	// until the deadline; the idle guard below guarantees time progress.
+	for eng.Now() < deadline && (len(groups) > 0 || inj != nil) {
 		rep.PollCycles++
 		if m != nil {
 			m.cycles.Inc()
 		}
+		station.BeginCycle()
+		cycleStart := eng.Now()
 		for _, group := range groups {
 			// Tags in one group transmit concurrently on separate beams;
 			// the slot lasts as long as the slowest member.
 			slotDur := 0.0
 			for _, id := range group {
+				if !station.ShouldPoll(id) {
+					continue
+				}
 				res, err := station.Poll(id)
 				if err != nil {
 					continue
@@ -278,6 +362,42 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 				break
 			}
 		}
+		if inj != nil {
+			// Health transitions become trace events.
+			for _, ht := range station.TakeHealthEvents() {
+				if cfg.Trace != nil {
+					cfg.Trace.Emit(trace.Event{
+						T:      eng.Now(),
+						Kind:   trace.KindHealth,
+						Tag:    ht.Tag,
+						Detail: ht.From.String() + " -> " + ht.To.String(),
+					})
+				}
+			}
+			// Periodic rediscovery sweeps recover evicted tags; their
+			// probe/contention air time is charged to the run. A sweep
+			// costs a full beam scan, so it only runs while tags are
+			// actually missing.
+			if cfg.RediscoverEvery > 0 && rep.PollCycles%cfg.RediscoverEvery == 0 &&
+				station.LostCount() > 0 && eng.Now() < deadline {
+				preSlots := station.Stats.DiscoverySlots + station.Stats.ProbesSent
+				station.Discover()
+				extra := float64(station.Stats.DiscoverySlots+station.Stats.ProbesSent-preSlots) * slotTime
+				eng.RunUntil(eng.Now() + extra)
+			}
+			if v := station.RosterVersion(); v != rosterV {
+				rosterV = v
+				groups = computeGroups()
+				if len(groups) > rep.SDMGroups {
+					rep.SDMGroups = len(groups)
+				}
+			}
+			// Idle cycle (roster empty or everyone backing off): advance
+			// one probe slot so the loop always makes time progress.
+			if eng.Now() == cycleStart {
+				eng.RunUntil(cycleStart + slotTime)
+			}
+		}
 	}
 	spPoll.End()
 
@@ -304,6 +424,34 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 		rep.EnergyPerBitJ = backscatterE / float64(rep.totalBits)
 	}
 	rep.MACStats = station.Stats
+	if inj != nil {
+		st := station.Stats
+		rr := &RecoveryReport{
+			TagsDead:        len(inj.DeadBy(eng.Now())),
+			Evictions:       st.Evictions,
+			Rediscoveries:   st.Rediscoveries,
+			DegradedPicks:   st.DegradedPicks,
+			AckLosses:       st.AckLosses,
+			DuplicateFrames: st.DuplicateFrames,
+			BudgetSkips:     st.BudgetSkips,
+			BackoffSkips:    st.BackoffSkips,
+			Faults:          inj.Stats(),
+		}
+		if total := rep.FramesOK + rep.FramesLost; total > 0 {
+			rr.DeliveryRatio = float64(rep.FramesOK) / float64(total)
+		}
+		if rounds := station.RecoveryRounds(); len(rounds) > 0 {
+			sum := 0
+			for _, r := range rounds {
+				sum += r
+				if r > rr.MaxRecoveryCycles {
+					rr.MaxRecoveryCycles = r
+				}
+			}
+			rr.MeanRecoveryCycles = float64(sum) / float64(len(rounds))
+		}
+		rep.Recovery = rr
+	}
 	spRun.End()
 	if m != nil {
 		m.goodput.Set(rep.GoodputBps)

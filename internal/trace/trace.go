@@ -26,6 +26,12 @@ const (
 	KindRateChange Kind = "rate-change"
 	KindBlockage   Kind = "blockage"
 	KindCustom     Kind = "custom"
+	// KindFault marks an injected fault transition (blockage start/end,
+	// tag death, brownout edge); Detail carries the fault kind and state.
+	KindFault Kind = "fault"
+	// KindHealth marks a MAC health-state transition (active/suspect/
+	// lost); Detail carries "from->to".
+	KindHealth Kind = "health"
 	// KindSpan marks a completed timed stage of a run (discovery, poll
 	// phase, a demodulation pass); T is the span start.
 	KindSpan Kind = "span"

@@ -20,6 +20,7 @@ import (
 
 	"mmtag/internal/ap"
 	"mmtag/internal/channel"
+	"mmtag/internal/fault"
 	"mmtag/internal/mac"
 	"mmtag/internal/obs"
 	"mmtag/internal/par"
@@ -158,7 +159,7 @@ func (s *System) Link(id uint8) (*LinkReport, error) {
 		return nil, err
 	}
 	table := mac.DefaultRateTable()
-	rate, err := mac.PickRate(table, 0.01, 600, func(r mac.Rate) float64 {
+	rate, _, err := mac.PickRate(table, 0.01, 600, func(r mac.Rate) float64 {
 		snr, audible := s.net.SNR(id, p.AzimuthRad, r)
 		if !audible {
 			return 0
@@ -189,6 +190,12 @@ type RunConfig struct {
 	SDM bool
 	// Seed drives all randomness (0 is a valid seed).
 	Seed int64
+	// Faults is a fault-injection spec (see fault.ParseSpec), e.g.
+	// "blockage=30,death=0.25,ackloss=0.2". Empty injects nothing. A
+	// faulted run wraps the radio in a deterministic fault injector and
+	// enables the MAC's health/recovery machinery; the same seed and
+	// spec reproduce the run byte-for-byte at any parallelism.
+	Faults string
 	// Trace, when non-nil, receives a text event timeline (discoveries
 	// and polls) after the run completes.
 	Trace io.Writer
@@ -212,6 +219,10 @@ type MetricsSnapshot = obs.Snapshot
 // Run performs discovery followed by TDMA/SDM polling and returns the
 // report.
 func (s *System) Run(cfg RunConfig) (*Report, error) {
+	plan, err := fault.ParseSpec(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	var rec *trace.Recorder
 	if cfg.Trace != nil || cfg.TraceJSONL != nil {
 		rec = trace.NewRecorder(100_000)
@@ -225,6 +236,7 @@ func (s *System) Run(cfg RunConfig) (*Report, error) {
 		Duration: cfg.Duration,
 		SDM:      cfg.SDM,
 		Seed:     cfg.Seed,
+		Faults:   plan,
 		Trace:    rec,
 		Obs:      handle,
 	})
@@ -266,6 +278,10 @@ func Sweep(build func() (*System, error), cfg RunConfig, replicates, workers int
 	if cfg.Trace != nil || cfg.TraceJSONL != nil || cfg.CollectMetrics {
 		return nil, fmt.Errorf("mmtag: sweep cannot trace or collect metrics (single-run sinks)")
 	}
+	plan, err := fault.ParseSpec(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	pool := par.New(par.Config{Workers: workers})
 	defer pool.Close()
 	return sim.RunSweep(sim.SweepConfig{
@@ -273,6 +289,7 @@ func Sweep(build func() (*System, error), cfg RunConfig, replicates, workers int
 			Duration: cfg.Duration,
 			SDM:      cfg.SDM,
 			Seed:     cfg.Seed,
+			Faults:   plan,
 			Pool:     pool,
 		},
 		Replicates: replicates,
