@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz
+.PHONY: check fmt vet build test race bench bench-json bench-check fuzz
 
 check: fmt vet build race
 
@@ -26,6 +26,17 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Regenerate the committed per-experiment cost baseline. Run on a quiet
+# machine; ns/op figures are hardware-dependent, allocs/op are exact.
+bench-json:
+	$(GO) run ./cmd/mmtag-bench -benchjson BENCH_baseline.json -benchlabel baseline -benchreps 3
+
+# Gate the current tree against the committed baseline: any allocs/op
+# increase fails; ns/op gets a generous tolerance because the baseline
+# was likely recorded on different hardware.
+bench-check:
+	$(GO) run ./cmd/mmtag-bench -benchjson - -benchcompare BENCH_baseline.json -benchnstol 50
 
 # Short smoke runs of every fuzz target (Go only fuzzes one target per
 # invocation).

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mmtag/internal/eval"
+	"mmtag/internal/par"
+)
+
+// BenchResult is one experiment's steady-state cost: wall time and heap
+// traffic for a full table regeneration at a fixed seed. Each field is
+// the minimum over the measurement reps, so one-time costs (FFT plan
+// construction, pool warm-up) and scheduling noise drop out.
+type BenchResult struct {
+	Name     string `json:"name"`
+	NsOp     int64  `json:"ns_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+	BytesOp  uint64 `json:"bytes_op"`
+	Rows     int    `json:"rows"`
+}
+
+// BenchReport is the persisted benchmark file format (BENCH_<label>.json).
+type BenchReport struct {
+	Label      string        `json:"label"`
+	GoVersion  string        `json:"go_version"`
+	Seed       int64         `json:"seed"`
+	Reps       int           `json:"reps"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// measureBench runs each experiment reps times on a single-worker pool
+// (serial execution keeps allocation counts deterministic) and keeps the
+// per-field minimum. Allocation figures come from runtime.MemStats
+// deltas around the run, after a forced GC to settle the heap.
+func measureBench(label string, ids []string, seed int64, reps int) (*BenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	pool := par.New(par.Config{Workers: 1})
+	defer pool.Close()
+	x := eval.Exec{Pool: pool}
+	report := &BenchReport{Label: label, GoVersion: runtime.Version(), Seed: seed, Reps: reps}
+	var ms runtime.MemStats
+	for _, id := range ids {
+		var best BenchResult
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			mallocs, bytes := ms.Mallocs, ms.TotalAlloc
+			start := time.Now()
+			tables, err := eval.RunExperiment(x, id, nil, seed)
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %w", id, err)
+			}
+			runtime.ReadMemStats(&ms)
+			rows := 0
+			for _, t := range tables {
+				rows += len(t.Rows)
+			}
+			cur := BenchResult{
+				Name:     id,
+				NsOp:     ns,
+				AllocsOp: ms.Mallocs - mallocs,
+				BytesOp:  ms.TotalAlloc - bytes,
+				Rows:     rows,
+			}
+			if r == 0 {
+				best = cur
+				continue
+			}
+			if cur.NsOp < best.NsOp {
+				best.NsOp = cur.NsOp
+			}
+			if cur.AllocsOp < best.AllocsOp {
+				best.AllocsOp = cur.AllocsOp
+			}
+			if cur.BytesOp < best.BytesOp {
+				best.BytesOp = cur.BytesOp
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, best)
+	}
+	return report, nil
+}
+
+// writeBenchReport renders the report as indented JSON to path
+// ("-" = stdout).
+func writeBenchReport(report *BenchReport, path string, w io.Writer) error {
+	body, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if path == "-" {
+		_, err = w.Write(body)
+		return err
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote benchmark report to %s\n", path)
+	return nil
+}
+
+// loadBenchReport reads a BENCH_*.json file.
+func loadBenchReport(path string) (*BenchReport, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report BenchReport
+	if err := json.Unmarshal(body, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &report, nil
+}
+
+// compareBench checks cur against base and returns one line per
+// regression: a benchmark present in the baseline but missing from the
+// current run, a row-count change (the experiment's output shape moved),
+// any allocs/op increase, or an ns/op increase beyond nsTolPct percent.
+// nsTolPct <= 0 disables the time check (allocation counts are exact;
+// wall time is machine-dependent, so CI uses a generous tolerance).
+func compareBench(cur, base *BenchReport, nsTolPct float64) []string {
+	byName := make(map[string]BenchResult, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+	var problems []string
+	for _, old := range base.Benchmarks {
+		now, ok := byName[old.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from current run", old.Name))
+			continue
+		}
+		if now.Rows != old.Rows {
+			problems = append(problems, fmt.Sprintf("%s: row count changed %d -> %d", old.Name, old.Rows, now.Rows))
+		}
+		if now.AllocsOp > old.AllocsOp {
+			problems = append(problems, fmt.Sprintf("%s: allocs/op regressed %d -> %d",
+				old.Name, old.AllocsOp, now.AllocsOp))
+		}
+		if nsTolPct > 0 {
+			limit := float64(old.NsOp) * (1 + nsTolPct/100)
+			if float64(now.NsOp) > limit {
+				problems = append(problems, fmt.Sprintf("%s: ns/op regressed %d -> %d (>%g%% over baseline)",
+					old.Name, old.NsOp, now.NsOp, nsTolPct))
+			}
+		}
+	}
+	return problems
+}
+
+// runBenchJSON is the -benchjson / -benchcompare entry point: measure,
+// optionally persist, optionally gate against a committed baseline.
+// Returns an error whose message lists every regression when the gate
+// fails.
+func runBenchJSON(id string, seed int64, label, outPath string, reps int, comparePath string, nsTolPct float64, w io.Writer) error {
+	ids := []string{id}
+	switch {
+	case strings.EqualFold(id, "all"):
+		ids = eval.ExperimentIDs()
+	case strings.EqualFold(id, "chaos"):
+		ids = eval.ChaosExperimentIDs()
+	}
+	report, err := measureBench(label, ids, seed, reps)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := writeBenchReport(report, outPath, w); err != nil {
+			return err
+		}
+	}
+	if comparePath == "" {
+		return nil
+	}
+	base, err := loadBenchReport(comparePath)
+	if err != nil {
+		return err
+	}
+	problems := compareBench(report, base, nsTolPct)
+	if len(problems) == 0 {
+		fmt.Fprintf(w, "benchmark gate: %d benchmarks within baseline %s\n", len(base.Benchmarks), comparePath)
+		return nil
+	}
+	return fmt.Errorf("benchmark regression vs %s:\n  %s", comparePath, strings.Join(problems, "\n  "))
+}

@@ -9,6 +9,8 @@
 //	mmtag-bench -seed 7             # change the Monte-Carlo seed
 //	mmtag-bench -parallel 8         # shard experiments across 8 workers
 //	mmtag-bench -metrics bench.prom -pprof profiles/
+//	mmtag-bench -benchjson BENCH_baseline.json   # record per-experiment cost
+//	mmtag-bench -benchjson - -benchcompare BENCH_baseline.json
 //
 // -parallel N runs the suite on an N-worker pool: experiments (and
 // their internal trial grids) shard across workers, but every table is
@@ -21,6 +23,13 @@
 // format (or JSON when the path ends in .json), alongside the pool's
 // par_tasks_total / par_queue_depth series. -pprof captures heap and
 // allocs profiles plus a GC summary after the run.
+//
+// -benchjson switches the harness into measurement mode: each selected
+// experiment runs -benchreps times on a single worker, and the minimum
+// wall time and heap traffic per run land in a JSON report (see
+// BenchReport). -benchcompare gates that report against a committed
+// baseline — any allocs/op increase, row-count change, or ns/op
+// regression beyond -benchnstol percent fails the run.
 package main
 
 import (
@@ -48,11 +57,22 @@ func main() {
 	out := flag.String("out", "", "directory to write per-experiment files (stdout if empty)")
 	metrics := flag.String("metrics", "", "write harness metrics (per-experiment wall time) to this file (- for stdout)")
 	pprofDir := flag.String("pprof", "", "write heap/allocs profiles and a GC summary to this directory")
+	benchJSON := flag.String("benchjson", "", "measure ns/op, allocs/op and bytes/op per experiment and write a JSON report to this path (- for stdout)")
+	benchLabel := flag.String("benchlabel", "local", "label recorded in the -benchjson report")
+	benchReps := flag.Int("benchreps", 3, "measurement repetitions per experiment for -benchjson (minimum is kept)")
+	benchCompare := flag.String("benchcompare", "", "baseline BENCH_*.json to gate against; exits 1 on any regression")
+	benchNsTol := flag.Float64("benchnstol", 15, "ns/op regression tolerance in percent for -benchcompare (0 disables the time check)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mmtag-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *benchJSON != "" || *benchCompare != "" {
+		if err := runBenchJSON(*experiment, *seed, *benchLabel, *benchJSON, *benchReps, *benchCompare, *benchNsTol, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
 	}
 	var reg *obs.Registry
 	if *metrics != "" {

@@ -17,6 +17,13 @@ type UPA struct {
 	dx, dy  float64 // element pitch in wavelengths
 
 	steerU, steerV float64
+	// Steering phasor tables, refreshed by Steer: sx[k] holds
+	// exp(-i·2π·dx·steerU·k) and sy likewise for the y axis. The array
+	// factor separates as exp(i·2πd(u-su)k) = exp(i·2πd·u·k)·sx[k], so
+	// a Gain call spends one cmplx.Exp per axis on the direction term
+	// (advanced by a rotation recurrence) and reads the steering term
+	// from the table instead of exercising trig per element.
+	sx, sy []complex128
 }
 
 // NewUPA constructs an nx×ny planar array with the given element
@@ -31,32 +38,64 @@ func NewUPA(element Element, nx, ny int, dx, dy float64) (*UPA, error) {
 	if element == nil {
 		element = NewPatch()
 	}
-	return &UPA{element: element, nx: nx, ny: ny, dx: dx, dy: dy}, nil
+	u := &UPA{element: element, nx: nx, ny: ny, dx: dx, dy: dy,
+		sx: make([]complex128, nx), sy: make([]complex128, ny)}
+	u.Steer(0, 0)
+	return u, nil
 }
 
 // N returns the total element count.
 func (u *UPA) N() int { return u.nx * u.ny }
 
-// Steer points the main beam at (azimuth, elevation) radians.
+// Steer points the main beam at (azimuth, elevation) radians and
+// rebuilds the steering phasor tables.
 func (u *UPA) Steer(azRad, elRad float64) {
 	u.steerU = math.Sin(azRad) * math.Cos(elRad)
 	u.steerV = math.Sin(elRad)
+	fillSteerTable(u.sx, u.dx, u.steerU)
+	fillSteerTable(u.sy, u.dy, u.steerV)
+}
+
+// fillSteerTable tabulates exp(-i·2π·d·s·k) for each element k, using a
+// rotation recurrence with periodic exact resync.
+func fillSteerTable(dst []complex128, d, s float64) {
+	theta := -2 * math.Pi * d * s
+	rot := cmplx.Exp(complex(0, theta))
+	w := complex(1, 0)
+	for k := range dst {
+		dst[k] = w
+		w *= rot
+		if k&63 == 63 {
+			w = cmplx.Exp(complex(0, theta*float64(k+1)))
+		}
+	}
 }
 
 // ArrayFactor returns the complex array factor toward (az, el) for the
 // current steering; |AF| = N at the steered direction.
 func (u *UPA) ArrayFactor(azRad, elRad float64) complex128 {
-	uu := math.Sin(azRad)*math.Cos(elRad) - u.steerU
-	vv := math.Sin(elRad) - u.steerV
-	// Separable: AF = AFx(uu) * AFy(vv).
-	afAxis := func(n int, d, w float64) complex128 {
-		var af complex128
-		for k := 0; k < n; k++ {
-			af += cmplx.Exp(complex(0, 2*math.Pi*d*w*float64(k)))
+	su := math.Sin(azRad) * math.Cos(elRad)
+	sv := math.Sin(elRad)
+	// Separable: AF = AFx * AFy, each axis combining the live direction
+	// phasor with the cached steering table.
+	return afAxis(u.sx, u.dx, su) * afAxis(u.sy, u.dy, sv)
+}
+
+// afAxis accumulates sum_k exp(i·2π·d·w·k)·steer[k]: one cmplx.Exp for
+// the rotation step, advanced by multiplication with periodic resync.
+func afAxis(steer []complex128, d, w float64) complex128 {
+	theta := 2 * math.Pi * d * w
+	rot := cmplx.Exp(complex(0, theta))
+	p := complex(1, 0)
+	var af complex128
+	for k, s := range steer {
+		af += p * s
+		p *= rot
+		if k&63 == 63 {
+			p = cmplx.Exp(complex(0, theta*float64(k+1)))
 		}
-		return af
 	}
-	return afAxis(u.nx, u.dx, uu) * afAxis(u.ny, u.dy, vv)
+	return af
 }
 
 // Gain returns the linear power gain toward (az, el): element pattern

@@ -41,6 +41,7 @@ type Demodulator struct {
 	preambleBits  []byte
 	preamblePts   []complex128 // alphabet points of the preamble bits
 	centredPre    []complex128 // mean-removed preamble for correlation
+	preKern       *dsp.CorrKernel
 	opts          frame.Options
 	m             *demodMetrics // nil when uninstrumented
 }
@@ -135,6 +136,7 @@ func NewDemodulator(c *phy.Constellation, preambleLen int, opts frame.Options) (
 		preambleBits:  bits,
 		preamblePts:   pts,
 		centredPre:    centred,
+		preKern:       dsp.NewCorrKernel(centred),
 		opts:          opts,
 	}, nil
 }
@@ -156,8 +158,14 @@ func (d *Demodulator) PreambleSymbolIndices() []int {
 // decision point per symbol: the mean of each symbol's later samples
 // (skipping the first quarter, where the switch transition lives).
 func integrateAndDump(x []complex128, sps int) []complex128 {
+	return integrateAndDumpTo(nil, x, sps)
+}
+
+// integrateAndDumpTo is integrateAndDump writing into dst (grown only
+// when its capacity is short).
+func integrateAndDumpTo(dst, x []complex128, sps int) []complex128 {
 	n := len(x) / sps
-	out := make([]complex128, n)
+	out := dsp.GrowComplex(dst, n)
 	skip := sps / 4
 	for k := 0; k < n; k++ {
 		var acc complex128
@@ -183,20 +191,34 @@ func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 		res.Err = fmt.Errorf("ap: waveform too short for demodulation")
 		return res
 	}
+	// Per-call scratch: two symbol buffers ping-pong between "current
+	// alignment" and "best so far", and every downstream stage borrows
+	// from the same arena, so a steady-state pass allocates nothing.
+	ar := dsp.GetArena()
+	maxSyms := len(rx) / sps
+	bufA, bufB := ar.Complex(maxSyms), ar.Complex(maxSyms)
+	defer func() {
+		ar.PutComplex(bufA)
+		ar.PutComplex(bufB)
+		dsp.PutArena(ar)
+	}()
 	// Try every sub-symbol alignment; keep the best preamble correlation.
 	bestLag, bestScore := -1, 0.0
 	var bestSyms []complex128
+	scratch, kept := bufA, bufB
 	for off := 0; off < sps; off++ {
-		syms := integrateAndDump(rx[off:], sps)
+		syms := integrateAndDumpTo(scratch, rx[off:], sps)
 		if len(syms) < len(d.centredPre)+1 {
 			continue
 		}
-		lag, score := offsetImmunePeak(syms, d.centredPre)
+		lag, score := offsetImmunePeakKern(syms, d.centredPre, d.preKern, ar)
 		if score > bestScore {
 			bestLag, bestScore = lag, score
 			bestSyms = syms
+			scratch, kept = kept, scratch
 		}
 	}
+	_ = kept
 	d.m.observeStage("sync", start)
 	res.SyncScore = bestScore
 	if bestLag < 0 || bestScore < 0.5 {
@@ -218,7 +240,7 @@ func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 
 	// Equalize everything after the preamble and slice.
 	data := bestSyms[bestLag+len(d.preamblePts):]
-	eq := make([]complex128, len(data))
+	eq := ar.Complex(len(data))
 	inv := complex(1, 0) / a
 	for i, v := range data {
 		eq[i] = (v - b) * inv
@@ -226,7 +248,8 @@ func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 	res.EVM = d.constellation.EVM(eq)
 	d.m.observeStage("equalize", eqStart)
 	decStart := d.m.now()
-	f, err := d.decide(eq)
+	f, err := d.decide(eq, ar)
+	ar.PutComplex(eq)
 	d.m.observeStage("fec-decode", decStart)
 	if err != nil {
 		res.Err = err
@@ -240,25 +263,31 @@ func (d *Demodulator) Demodulate(rx []complex128, sps int) *UplinkResult {
 // binary alphabet it extracts per-bit soft levels (the projection onto
 // the axis between the two states) and decodes through the soft Viterbi
 // path, falling back to hard decisions when the soft parse fails.
-func (d *Demodulator) decide(eq []complex128) (*frame.Frame, error) {
+// Intermediate buffers come from ar; the frame decoders copy what they
+// keep, so nothing arena-owned escapes.
+func (d *Demodulator) decide(eq []complex128, ar *dsp.Arena) (*frame.Frame, error) {
 	if d.opts.Coded && d.constellation.Size() == 2 {
 		p0, p1 := d.constellation.Point(0), d.constellation.Point(1)
 		axis := p1 - p0
 		den := real(axis)*real(axis) + imag(axis)*imag(axis)
 		if den > 1e-30 {
-			levels := make([]float64, len(eq))
+			levels := ar.Float(len(eq))
 			for i, v := range eq {
 				rel := v - p0
 				levels[i] = (real(rel)*real(axis) + imag(rel)*imag(axis)) / den
 			}
-			if f, _, err := frame.DecodeBitsSoft(levels, d.opts); err == nil {
+			f, _, err := frame.DecodeBitsSoft(levels, d.opts)
+			ar.PutFloat(levels)
+			if err == nil {
 				return f, nil
 			}
 		}
 	}
-	symIdx := d.constellation.Slice(nil, eq)
-	bits := d.constellation.UnmapBits(nil, symIdx)
+	symIdx := d.constellation.Slice(ar.Ints(len(eq))[:0], eq)
+	bits := d.constellation.UnmapBits(ar.Bytes(len(symIdx) * d.constellation.BitsPerSymbol())[:0], symIdx)
 	f, _, err := frame.DecodeBits(bits, d.opts)
+	ar.PutBytes(bits)
+	ar.PutInts(symIdx)
 	return f, err
 }
 
@@ -285,17 +314,26 @@ func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps i
 	// straddles symbol boundaries, so pick the alignment by the quality
 	// of the joint channel+offset fit on the preamble instead: the true
 	// alignment is the one the linear symbol-level model explains best.
+	ar := dsp.GetArena()
+	maxSyms := len(rx) / sps
+	bufA, bufB := ar.Complex(maxSyms), ar.Complex(maxSyms)
+	defer func() {
+		ar.PutComplex(bufA)
+		ar.PutComplex(bufB)
+		dsp.PutArena(ar)
+	}()
 	bestLag, bestScore := -1, 0.0
 	bestResidual := math.Inf(1)
 	var bestSyms []complex128
 	var bestH []complex128
 	var bestB complex128
+	scratch, kept := bufA, bufB
 	for off := 0; off < sps; off++ {
-		syms := integrateAndDump(rx[off:], sps)
+		syms := integrateAndDumpTo(scratch, rx[off:], sps)
 		if len(syms) < len(d.centredPre)+maxChannelTaps {
 			continue
 		}
-		lag, score := offsetImmunePeak(syms, d.centredPre)
+		lag, score := offsetImmunePeakKern(syms, d.centredPre, d.preKern, ar)
 		if lag < 0 || score < 0.4 {
 			continue
 		}
@@ -311,8 +349,10 @@ func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps i
 			bestResidual = resid
 			bestLag, bestScore = lag, score
 			bestSyms, bestH, bestB = syms, h, b
+			scratch, kept = kept, scratch
 		}
 	}
+	_ = kept
 	d.m.observeStage("sync", start)
 	res.SyncScore = bestScore
 	if bestLag < 0 {
@@ -323,7 +363,7 @@ func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps i
 	h, b := bestH, bestB
 	res.Gain, res.Offset = h[0], b
 	eqStart := d.m.now()
-	stream := make([]complex128, len(bestSyms)-bestLag)
+	stream := ar.Complex(len(bestSyms) - bestLag)
 	for i := range stream {
 		stream[i] = bestSyms[bestLag+i] - b
 	}
@@ -339,14 +379,18 @@ func (d *Demodulator) DemodulateEqualized(rx []complex128, sps, maxChannelTaps i
 		res.Err = err
 		return res
 	}
-	eq := phy.Equalize(stream, w, delay)
+	eq := phy.EqualizeTo(ar.Complex(len(stream)), stream, w, delay)
 	data := eq[len(d.preamblePts):]
 	res.EVM = d.constellation.EVM(data)
 	d.m.observeStage("equalize", eqStart)
 	decStart := d.m.now()
-	symIdx := d.constellation.Slice(nil, data)
-	bits := d.constellation.UnmapBits(nil, symIdx)
+	symIdx := d.constellation.Slice(ar.Ints(len(data))[:0], data)
+	bits := d.constellation.UnmapBits(ar.Bytes(len(symIdx) * d.constellation.BitsPerSymbol())[:0], symIdx)
 	f, _, err := frame.DecodeBits(bits, d.opts)
+	ar.PutBytes(bits)
+	ar.PutInts(symIdx)
+	ar.PutComplex(eq)
+	ar.PutComplex(stream)
 	d.m.observeStage("fec-decode", decStart)
 	if err != nil {
 		res.Err = err
@@ -387,6 +431,19 @@ func preambleFitResidual(stream, pre []complex128, h []complex128, b complex128,
 // sum((x+c) * conj(ref)) is independent of c, and subtracting the window
 // mean from the energy removes c from the denominator too.
 func offsetImmunePeak(x, ref []complex128) (int, float64) {
+	return offsetImmunePeakWith(x, ref, nil)
+}
+
+// offsetImmunePeakWith is offsetImmunePeak with correlation and
+// prefix-sum scratch borrowed from ar (nil ar allocates fresh).
+func offsetImmunePeakWith(x, ref []complex128, ar *dsp.Arena) (int, float64) {
+	return offsetImmunePeakKern(x, ref, nil, ar)
+}
+
+// offsetImmunePeakKern is offsetImmunePeakWith with an optional cached
+// correlation kernel for ref (nil kern correlates from scratch). kern,
+// when non-nil, must have been built from ref.
+func offsetImmunePeakKern(x, ref []complex128, kern *dsp.CorrKernel, ar *dsp.Arena) (int, float64) {
 	m := len(ref)
 	if m == 0 || len(x) < m {
 		return -1, 0
@@ -395,14 +452,26 @@ func offsetImmunePeak(x, ref []complex128) (int, float64) {
 	if refE == 0 {
 		return -1, 0
 	}
-	corr := dsp.CrossCorrelate(x, ref)
+	var corr []complex128
+	if kern != nil {
+		corr = kern.CrossCorrelateTo(ar.Complex(len(x)-m+1), x, ar)
+	} else {
+		corr = dsp.CrossCorrelateTo(ar.Complex(len(x)-m+1), x, ref, ar)
+	}
 	// Sliding window sum and energy via prefix sums.
-	prefSum := make([]complex128, len(x)+1)
-	prefE := make([]float64, len(x)+1)
+	prefSum := ar.Complex(len(x) + 1)
+	prefSum[0] = 0
+	prefE := ar.Float(len(x) + 1)
+	prefE[0] = 0
 	for i, v := range x {
 		prefSum[i+1] = prefSum[i] + v
 		prefE[i+1] = prefE[i] + real(v)*real(v) + imag(v)*imag(v)
 	}
+	defer func() {
+		ar.PutFloat(prefE)
+		ar.PutComplex(prefSum)
+		ar.PutComplex(corr)
+	}()
 	bestLag, bestScore := -1, 0.0
 	for k, c := range corr {
 		wSum := prefSum[k+m] - prefSum[k]

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+
+	"mmtag/internal/dsp"
 )
 
 // AWGN adds complex white Gaussian noise with the given total noise power
@@ -104,9 +106,18 @@ func RicianTaps(rng *rand.Rand, kFactor float64, nTaps, maxDelay int) ([]Tap, er
 }
 
 // ApplyTaps convolves x with a sparse tap set, returning a new slice of
-// the same length.
+// the same length. Allocates the output; ApplyTapsTo is the
+// allocation-free variant.
 func ApplyTaps(x []complex128, taps []Tap) []complex128 {
-	out := make([]complex128, len(x))
+	return ApplyTapsTo(nil, x, taps)
+}
+
+// ApplyTapsTo is ApplyTaps writing into dst (grown only when its
+// capacity is short). dst must not overlap x. Values are bit-identical
+// to ApplyTaps.
+func ApplyTapsTo(dst, x []complex128, taps []Tap) []complex128 {
+	out := dsp.GrowComplex(dst, len(x))
+	clear(out)
 	for _, tp := range taps {
 		if tp.DelaySamples < 0 {
 			panic("channel: negative tap delay")

@@ -3,6 +3,7 @@ package dsp
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // CrossCorrelate returns the full linear cross-correlation of x with the
@@ -14,6 +15,15 @@ import (
 // ref is longer than x or either is empty. Uses FFT fast correlation when
 // the work is large enough to pay for it.
 func CrossCorrelate(x, ref []complex128) []complex128 {
+	return CrossCorrelateTo(nil, x, ref, nil)
+}
+
+// CrossCorrelateTo is CrossCorrelate writing into dst (grown only when
+// its capacity is short) with FFT scratch borrowed from ar. A nil ar
+// falls back to fresh allocation; with an arena and a capacious dst the
+// call is allocation-free in steady state. Values are bit-identical to
+// CrossCorrelate.
+func CrossCorrelateTo(dst []complex128, x, ref []complex128, ar *Arena) []complex128 {
 	n, m := len(x), len(ref)
 	if m == 0 || n < m {
 		return nil
@@ -21,7 +31,7 @@ func CrossCorrelate(x, ref []complex128) []complex128 {
 	lags := n - m + 1
 	// Direct method for small problems.
 	if n*m <= 1<<14 {
-		out := make([]complex128, lags)
+		out := growComplex(dst, lags)
 		for k := 0; k < lags; k++ {
 			var acc complex128
 			for i := 0; i < m; i++ {
@@ -34,24 +44,109 @@ func CrossCorrelate(x, ref []complex128) []complex128 {
 	// FFT method: correlation is convolution with the conjugate-reversed
 	// reference.
 	size := NextPow2(n + m - 1)
-	fx := make([]complex128, size)
-	fr := make([]complex128, size)
+	p := PlanFFT(size)
+	fx := ar.ComplexZeroed(size)
+	fr := ar.ComplexZeroed(size)
 	copy(fx, x)
 	for i := 0; i < m; i++ {
 		fr[i] = cmplx.Conj(ref[m-1-i])
 	}
-	radix2(fx, false)
-	radix2(fr, false)
+	p.radix2To(fx, fx, false)
+	p.radix2To(fr, fr, false)
 	for i := range fx {
 		fx[i] *= fr[i]
 	}
-	radix2(fx, true)
+	p.radix2To(fx, fx, true)
 	scale := complex(1/float64(size), 0)
-	out := make([]complex128, lags)
+	out := growComplex(dst, lags)
 	for k := 0; k < lags; k++ {
 		out[k] = fx[k+m-1] * scale
 	}
+	ar.PutComplex(fr)
+	ar.PutComplex(fx)
 	return out
+}
+
+// CorrKernel caches the forward-transformed, conjugate-reversed spectrum
+// of a fixed reference sequence, so repeated correlations against the
+// same reference (a receiver's preamble search) pay one forward and one
+// inverse FFT per call instead of two forward and one inverse. Safe for
+// concurrent use; results are bit-identical to CrossCorrelate.
+type CorrKernel struct {
+	ref []complex128
+
+	mu   sync.Mutex
+	spec map[int][]complex128 // FFT size -> reference spectrum
+}
+
+// NewCorrKernel copies ref into a reusable correlation kernel.
+func NewCorrKernel(ref []complex128) *CorrKernel {
+	r := make([]complex128, len(ref))
+	copy(r, ref)
+	return &CorrKernel{ref: r, spec: make(map[int][]complex128)}
+}
+
+// Ref returns the kernel's reference sequence. The slice is shared and
+// must not be modified.
+func (kn *CorrKernel) Ref() []complex128 { return kn.ref }
+
+// CrossCorrelateTo correlates x against the kernel's reference, writing
+// into dst with FFT scratch from ar, exactly as the package-level
+// CrossCorrelateTo would with the same reference.
+func (kn *CorrKernel) CrossCorrelateTo(dst, x []complex128, ar *Arena) []complex128 {
+	n, m := len(x), len(kn.ref)
+	if m == 0 || n < m {
+		return nil
+	}
+	lags := n - m + 1
+	if n*m <= 1<<14 {
+		out := growComplex(dst, lags)
+		for k := 0; k < lags; k++ {
+			var acc complex128
+			for i := 0; i < m; i++ {
+				acc += x[k+i] * cmplx.Conj(kn.ref[i])
+			}
+			out[k] = acc
+		}
+		return out
+	}
+	size := NextPow2(n + m - 1)
+	p := PlanFFT(size)
+	spec := kn.spectrum(size, p)
+	fx := ar.ComplexZeroed(size)
+	copy(fx, x)
+	p.radix2To(fx, fx, false)
+	for i := range fx {
+		fx[i] *= spec[i]
+	}
+	p.radix2To(fx, fx, true)
+	scale := complex(1/float64(size), 0)
+	out := growComplex(dst, lags)
+	for k := 0; k < lags; k++ {
+		out[k] = fx[k+m-1] * scale
+	}
+	ar.PutComplex(fx)
+	return out
+}
+
+// spectrum returns the reference spectrum at the given FFT size,
+// computing and caching it on first use per size. Cached slices are
+// never mutated after publication, so callers may read them after the
+// lock is released.
+func (kn *CorrKernel) spectrum(size int, p *Plan) []complex128 {
+	kn.mu.Lock()
+	defer kn.mu.Unlock()
+	if s, ok := kn.spec[size]; ok {
+		return s
+	}
+	m := len(kn.ref)
+	fr := make([]complex128, size)
+	for i := 0; i < m; i++ {
+		fr[i] = cmplx.Conj(kn.ref[m-1-i])
+	}
+	p.radix2To(fr, fr, false)
+	kn.spec[size] = fr
+	return fr
 }
 
 // PeakIndex returns the index of the maximum-magnitude sample and that
@@ -71,10 +166,18 @@ func PeakIndex(x []complex128) (int, float64) {
 // energies of the two sequences (1.0 = perfect match). Used as a preamble
 // detection statistic.
 func NormalizedPeak(x, ref []complex128) (lag int, score float64) {
-	r := CrossCorrelate(x, ref)
-	if r == nil {
+	return NormalizedPeakWith(x, ref, nil)
+}
+
+// NormalizedPeakWith is NormalizedPeak with correlation scratch
+// borrowed from ar (nil ar allocates fresh). Scores are bit-identical
+// to NormalizedPeak.
+func NormalizedPeakWith(x, ref []complex128, ar *Arena) (lag int, score float64) {
+	if len(ref) == 0 || len(x) < len(ref) {
 		return -1, 0
 	}
+	r := CrossCorrelateTo(ar.Complex(len(x)-len(ref)+1), x, ref, ar)
+	defer ar.PutComplex(r)
 	refE := Energy(ref)
 	if refE == 0 {
 		return -1, 0

@@ -10,138 +10,40 @@
 package dsp
 
 import (
-	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // FFT returns the discrete Fourier transform of x. The input is not
 // modified. Power-of-two lengths use an iterative radix-2
 // decimation-in-time transform; other lengths use Bluestein's algorithm.
-// FFT of an empty slice returns an empty slice.
+// Both run through the cached per-size Plan (see PlanFFT), so repeated
+// transforms of a size pay no twiddle recomputation. FFT of an empty
+// slice returns an empty slice. Allocates the output; FFTTo is the
+// allocation-free variant.
 func FFT(x []complex128) []complex128 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
-	out := make([]complex128, n)
-	copy(out, x)
-	fftInPlace(out, false)
-	return out
+	return FFTTo(nil, x)
 }
 
 // IFFT returns the inverse discrete Fourier transform of x, scaled by 1/N
-// so that IFFT(FFT(x)) == x.
+// so that IFFT(FFT(x)) == x. Allocates the output; IFFTTo is the
+// allocation-free variant.
 func IFFT(x []complex128) []complex128 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
-	out := make([]complex128, n)
-	copy(out, x)
-	fftInPlace(out, true)
-	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
-	}
-	return out
+	return IFFTTo(nil, x)
 }
 
 // fftInPlace computes an unscaled forward (inverse=false) or inverse
 // (inverse=true, still unscaled) DFT of x in place.
 func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if n == 1 {
+	if len(x) <= 1 {
 		return
 	}
-	if n&(n-1) == 0 {
-		radix2(x, inverse)
-		return
-	}
-	bluestein(x, inverse)
-}
-
-// radix2 is an iterative Cooley-Tukey FFT for power-of-two lengths.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	logN := bits.TrailingZeros(uint(n))
-
-	// Bit-reversal permutation.
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		// Precompute the twiddle increment as a rotation to avoid a
-		// sincos per butterfly; accumulate with periodic resync for
-		// numerical stability.
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			rot := cmplx.Exp(complex(0, step))
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= rot
-				if k&63 == 63 {
-					// Resynchronize the accumulated twiddle.
-					w = cmplx.Exp(complex(0, step*float64(k+1)))
-				}
-			}
-		}
-	}
-}
-
-// bluestein computes a DFT of arbitrary length via the chirp-z transform,
-// using a power-of-two convolution length >= 2n-1.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// w[k] = exp(sign * i * pi * k^2 / n)
-	w := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k^2 mod 2n avoids precision loss for large k.
-		k2 := (int64(k) * int64(k)) % int64(2*n)
-		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
-	}
-
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
-		bk := cmplx.Conj(w[k])
-		b[k] = bk
-		if k > 0 {
-			b[m-k] = bk
-		}
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * w[k]
-	}
+	PlanFFT(len(x)).transformTo(x, x, inverse)
 }
 
 // FFTReal transforms a real-valued signal, returning the full complex

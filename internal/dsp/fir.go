@@ -3,25 +3,57 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // FIR is a finite-impulse-response filter with real taps, applicable to
 // complex signals. The zero value is unusable; construct with a design
 // function or NewFIR.
+//
+// Tap ownership: the filter owns its tap vector exclusively. NewFIR
+// copies its argument (the caller keeps its slice), Taps returns a copy
+// (the caller may mutate it freely), and Clone duplicates a filter with
+// a single copy — prefer it over the NewFIR(f.Taps()) reload idiom,
+// which copies the taps twice.
 type FIR struct {
 	taps []float64
 	// state holds the last len(taps)-1 input samples for streaming use.
 	state []complex128
+
+	// Cached frequency-domain taps for the overlap-save Filter path,
+	// keyed by FFT size. Guarded by specMu so concurrent Filter calls
+	// on a shared filter stay race-free; a published spec slice is
+	// never mutated, only replaced.
+	specMu   sync.Mutex
+	specSize int
+	spec     []complex128
 }
 
-// NewFIR wraps an explicit tap vector. It copies taps.
+// NewFIR wraps an explicit tap vector. It copies taps; the caller's
+// slice is not retained.
 func NewFIR(taps []float64) *FIR {
 	t := make([]float64, len(taps))
 	copy(t, taps)
-	return &FIR{taps: t, state: make([]complex128, maxInt(len(taps)-1, 0))}
+	return firOwned(t)
 }
 
-// Taps returns a copy of the filter's tap vector.
+// firOwned wraps a tap vector the caller hands over — the design
+// functions build fresh tap slices and use this to skip NewFIR's
+// defensive copy.
+func firOwned(taps []float64) *FIR {
+	return &FIR{taps: taps, state: make([]complex128, maxInt(len(taps)-1, 0))}
+}
+
+// Clone returns an independent filter with the same taps and zeroed
+// streaming state. It copies the taps once, unlike NewFIR(f.Taps()).
+func (f *FIR) Clone() *FIR {
+	t := make([]float64, len(f.taps))
+	copy(t, f.taps)
+	return firOwned(t)
+}
+
+// Taps returns a copy of the filter's tap vector; mutating it does not
+// affect the filter.
 func (f *FIR) Taps() []float64 {
 	t := make([]float64, len(f.taps))
 	copy(t, f.taps)
@@ -42,21 +74,112 @@ func (f *FIR) Reset() {
 	}
 }
 
+// firFFTMinTaps is the tap count above which Filter switches from
+// direct form (O(n·k)) to overlap-save FFT convolution (O(n·log k)).
+// Below it the FFT constant factors lose to the direct inner loop.
+const firFFTMinTaps = 64
+
 // Filter convolves x with the taps, returning len(x) output samples
 // (the "same" convolution mode, zero initial state). Streaming state is
-// not used or modified.
+// not used or modified. Allocates the output; FilterTo is the
+// allocation-free variant.
 func (f *FIR) Filter(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
+	return f.FilterTo(nil, x)
+}
+
+// FilterTo is Filter writing into dst, growing it only when cap(dst) <
+// len(x), and returns the output slice. dst must not overlap x. Long
+// filters (>= firFFTMinTaps taps on inputs at least that long) run as
+// overlap-save FFT convolution — same result to ~1e-15 relative, not
+// bit-identical to direct form.
+func (f *FIR) FilterTo(dst, x []complex128) []complex128 {
+	out := growComplex(dst, len(x))
+	if len(f.taps) >= firFFTMinTaps && len(x) >= firFFTMinTaps {
+		f.filterFFT(out, x)
+	} else {
+		f.filterDirect(out, x)
+	}
+	return out
+}
+
+// filterDirect is the O(n·k) form. The inner loop runs k over
+// [0, min(n, len(taps)-1)] so the per-tap bounds branch of the old
+// implementation is gone; summation order (ascending k) is unchanged,
+// keeping results bit-identical.
+func (f *FIR) filterDirect(out, x []complex128) {
+	taps := f.taps
+	kt := len(taps) - 1
 	for n := range x {
+		kMax := n
+		if kMax > kt {
+			kMax = kt
+		}
 		var acc complex128
-		for k, t := range f.taps {
-			if idx := n - k; idx >= 0 {
-				acc += complex(t, 0) * x[idx]
-			}
+		for k := 0; k <= kMax; k++ {
+			acc += complex(taps[k], 0) * x[n-k]
 		}
 		out[n] = acc
 	}
-	return out
+}
+
+// filterFFT is overlap-save frequency-domain convolution: fixed-size
+// blocks of input (with k-1 samples of history) are transformed,
+// multiplied by the cached tap spectrum, and inverse-transformed; the
+// first k-1 samples of each block are time-aliased and discarded.
+func (f *FIR) filterFFT(out, x []complex128) {
+	k := len(f.taps)
+	m := NextPow2(4 * k)
+	if full := NextPow2(len(x) + k - 1); full < m {
+		m = full
+	}
+	step := m - (k - 1) // valid output samples per block
+	p := PlanFFT(m)
+	spec := f.tapSpectrum(m, p)
+	scale := complex(1/float64(m), 0)
+	ar := GetArena()
+	seg := ar.Complex(m)
+	for pos := 0; pos < len(x); pos += step {
+		start := pos - (k - 1)
+		for i := 0; i < m; i++ {
+			j := start + i
+			if j >= 0 && j < len(x) {
+				seg[i] = x[j]
+			} else {
+				seg[i] = 0
+			}
+		}
+		p.radix2To(seg, seg, false)
+		for i := range seg {
+			seg[i] *= spec[i]
+		}
+		p.radix2To(seg, seg, true)
+		nOut := step
+		if pos+nOut > len(x) {
+			nOut = len(x) - pos
+		}
+		for i := 0; i < nOut; i++ {
+			out[pos+i] = seg[k-1+i] * scale
+		}
+	}
+	ar.PutComplex(seg)
+	PutArena(ar)
+}
+
+// tapSpectrum returns the m-point DFT of the taps, computing and
+// caching it on first use for each size.
+func (f *FIR) tapSpectrum(m int, p *Plan) []complex128 {
+	f.specMu.Lock()
+	defer f.specMu.Unlock()
+	if f.specSize == m {
+		return f.spec
+	}
+	spec := make([]complex128, m)
+	for i, t := range f.taps {
+		spec[i] = complex(t, 0)
+	}
+	p.radix2To(spec, spec, false)
+	f.spec, f.specSize = spec, m
+	return spec
 }
 
 // Process filters a streaming block, carrying state across calls so that
@@ -135,7 +258,7 @@ func DesignLowpass(cutoffHz, sampleRate float64, taps int, w Window) (*FIR, erro
 	for i := range h {
 		h[i] /= sum
 	}
-	return NewFIR(h), nil
+	return firOwned(h), nil
 }
 
 // DesignHighpass designs a windowed-sinc highpass FIR via spectral
@@ -145,7 +268,7 @@ func DesignHighpass(cutoffHz, sampleRate float64, taps int, w Window) (*FIR, err
 	if err != nil {
 		return nil, err
 	}
-	h := lp.Taps()
+	h := lp.taps // lp is discarded below; take its taps without a copy
 	mid := (taps - 1) / 2
 	for i := range h {
 		h[i] = -h[i]
@@ -165,7 +288,7 @@ func DesignHighpass(cutoffHz, sampleRate float64, taps int, w Window) (*FIR, err
 			h[i] /= sum
 		}
 	}
-	return NewFIR(h), nil
+	return firOwned(h), nil
 }
 
 // DesignBandpass designs a windowed-sinc bandpass FIR between lowHz and
@@ -183,12 +306,12 @@ func DesignBandpass(lowHz, highHz, sampleRate float64, taps int, w Window) (*FIR
 	if err != nil {
 		return nil, err
 	}
-	hh, hl := hi.Taps(), lo.Taps()
+	hh, hl := hi.taps, lo.taps // read-only; hi and lo are discarded
 	h := make([]float64, taps)
 	for i := range h {
 		h[i] = hh[i] - hl[i]
 	}
-	f := NewFIR(h)
+	f := firOwned(h)
 	// Normalize to unit magnitude at the geometric band centre.
 	centre := math.Sqrt(lowHz*highHz) / sampleRate
 	g := cmplxAbs(f.FrequencyResponse(centre))
@@ -210,7 +333,7 @@ func MovingAverage(n int) *FIR {
 	for i := range h {
 		h[i] = 1 / float64(n)
 	}
-	return NewFIR(h)
+	return firOwned(h)
 }
 
 // DCBlocker is a single-pole IIR DC-removal filter:

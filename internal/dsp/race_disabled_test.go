@@ -1,0 +1,5 @@
+//go:build !race
+
+package dsp
+
+const raceEnabled = false

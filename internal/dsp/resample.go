@@ -38,7 +38,7 @@ func NewResampler(l, m int) (*Resampler, error) {
 	if err != nil {
 		return nil, err
 	}
-	taps := fir.Taps()
+	taps := fir.taps // fir is discarded; scale its taps in place
 	// The lowpass has unity DC gain; upsampling inserts L-1 zeros, so
 	// scale by L to preserve amplitude.
 	for i := range taps {
@@ -56,15 +56,23 @@ func (r *Resampler) OutputLen(n int) int { return (n*r.l + r.m - 1) / r.m }
 
 // Resample converts x to the new rate. The output is time-aligned with
 // the input (the prototype group delay is compensated); edges are
-// zero-padded.
+// zero-padded. Allocates the output; ResampleTo is the allocation-free
+// variant.
 func (r *Resampler) Resample(x []complex128) []complex128 {
+	return r.ResampleTo(nil, x)
+}
+
+// ResampleTo is Resample writing into dst, growing it only when
+// cap(dst) < OutputLen(len(x)), and returns the output slice. dst must
+// not overlap x. Values are bit-identical to Resample.
+func (r *Resampler) ResampleTo(dst, x []complex128) []complex128 {
 	if r.l == 1 && r.m == 1 {
-		out := make([]complex128, len(x))
+		out := growComplex(dst, len(x))
 		copy(out, x)
 		return out
 	}
 	nOut := r.OutputLen(len(x))
-	out := make([]complex128, nOut)
+	out := growComplex(dst, nOut)
 	for k := 0; k < nOut; k++ {
 		// Output sample k sits at upsampled index k*M; the filter is
 		// centred there (delay-compensated).

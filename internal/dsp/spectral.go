@@ -11,10 +11,11 @@ func Periodogram(x []complex128, w Window) []float64 {
 		return nil
 	}
 	coeffs := w.Coefficients(n)
-	buf := make([]complex128, n)
+	ar := GetArena()
+	buf := ar.Complex(n)
 	copy(buf, x)
 	ApplyWindow(buf, coeffs)
-	spec := FFT(buf)
+	spec := FFTTo(buf, buf)
 	// Normalize by N * sum(w^2) so the bin sum equals the average power
 	// for a rectangular window (Parseval).
 	var wss float64
@@ -25,6 +26,8 @@ func Periodogram(x []complex128, w Window) []float64 {
 	for i, v := range spec {
 		out[i] = (real(v)*real(v) + imag(v)*imag(v)) / (float64(n) * wss)
 	}
+	ar.PutComplex(buf)
+	PutArena(ar)
 	return out
 }
 
@@ -44,16 +47,19 @@ func Welch(x []complex128, segLen int, w Window) []float64 {
 	}
 	acc := make([]float64, segLen)
 	segs := 0
-	buf := make([]complex128, segLen)
+	ar := GetArena()
+	buf := ar.Complex(segLen)
 	for start := 0; start+segLen <= len(x); start += hop {
 		copy(buf, x[start:start+segLen])
 		ApplyWindow(buf, coeffs)
-		spec := FFT(buf)
+		spec := FFTTo(buf, buf)
 		for i, v := range spec {
 			acc[i] += (real(v)*real(v) + imag(v)*imag(v)) / (float64(segLen) * wss)
 		}
 		segs++
 	}
+	ar.PutComplex(buf)
+	PutArena(ar)
 	for i := range acc {
 		acc[i] /= float64(segs)
 	}

@@ -3,7 +3,10 @@ package phy
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
+
+	"mmtag/internal/dsp"
 )
 
 // BitErrors counts positions where a and b differ. Slices must have equal
@@ -51,6 +54,13 @@ func (r BERResult) Rate() float64 {
 //
 // The noise power per symbol is Es/N0^-1-scaled: N0 = Es / (Eb/N0 * bits)
 // split across I and Q.
+// The implementation is fused: random bits pack straight into symbol
+// indices, each symbol is modulated, perturbed, and sliced in one pass,
+// and bit errors are counted by popcount on tx^rx symbol indices. The
+// RNG draw sequence (all bit draws, then two Gaussian draws per symbol)
+// and every floating-point operation match the original staged
+// pipeline, so results for a given rng stream are unchanged — the
+// buffers are just gone.
 func MeasureBER(c *Constellation, ebn0 float64, nBits int, rng *rand.Rand) (BERResult, error) {
 	if ebn0 <= 0 {
 		return BERResult{}, fmt.Errorf("phy: Eb/N0 must be positive, got %g", ebn0)
@@ -58,25 +68,47 @@ func MeasureBER(c *Constellation, ebn0 float64, nBits int, rng *rand.Rand) (BERR
 	if nBits <= 0 {
 		return BERResult{}, fmt.Errorf("phy: bit count must be positive, got %d", nBits)
 	}
-	bits := RandomBits(rng, nBits)
-	symbols := c.MapBits(nil, bits)
-	tx := c.Modulate(nil, symbols)
+	bps := c.BitsPerSymbol()
+	nSym := (nBits + bps - 1) / bps
+	ar := dsp.GetArena()
+	syms := ar.Ints(nSym)
+	// Phase one: draw nBits random bits, packing each group of bps
+	// (MSB first, final symbol zero-padded) — the draw order of
+	// RandomBits followed by MapBits.
+	sym, fill, idx := 0, 0, 0
+	for i := 0; i < nBits; i++ {
+		sym = sym<<1 | rng.Intn(2)
+		fill++
+		if fill == bps {
+			syms[idx] = sym
+			idx++
+			sym, fill = 0, 0
+		}
+	}
+	if fill > 0 {
+		syms[idx] = sym << (bps - fill)
+	}
 
 	es := c.MeanPower()
-	n0 := es / (ebn0 * float64(c.BitsPerSymbol()))
+	n0 := es / (ebn0 * float64(bps))
 	sigma := math.Sqrt(n0 / 2)
 
-	rxSym := make([]int, 0, len(symbols))
-	for _, p := range tx {
-		r := p + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
-		rxSym = append(rxSym, c.Nearest(r))
+	// Phase two: modulate, add noise, slice, and count bit errors per
+	// symbol. The final symbol may carry padding; only its top bits that
+	// came from real data are compared.
+	rem := nBits - (nSym-1)*bps // data bits in the final symbol
+	errs := 0
+	for i, s := range syms {
+		r := c.points[s] + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		d := c.Nearest(r)
+		diff := uint(s ^ d)
+		if i == nSym-1 && rem < bps {
+			diff >>= uint(bps - rem)
+		}
+		errs += bits.OnesCount(diff)
 	}
-	rxBits := c.UnmapBits(nil, rxSym)
-	// Compare only the original bits (mapping may have padded).
-	errs, err := BitErrors(bits, rxBits[:len(bits)])
-	if err != nil {
-		return BERResult{}, err
-	}
+	ar.PutInts(syms)
+	dsp.PutArena(ar)
 	return BERResult{Bits: nBits, Errors: errs}, nil
 }
 

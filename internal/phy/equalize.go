@@ -3,6 +3,8 @@ package phy
 import (
 	"fmt"
 	"math/cmplx"
+
+	"mmtag/internal/dsp"
 )
 
 // DesignEqualizer computes a linear MMSE equalizer of nTaps taps for a
@@ -106,16 +108,29 @@ func solveComplex(a [][]complex128, b []complex128) ([]complex128, error) {
 
 // Equalize convolves rx with the equalizer taps and compensates the
 // design delay, returning a slice aligned with the pre-channel signal.
+// Allocates the output; EqualizeTo is the allocation-free variant.
 func Equalize(rx, w []complex128, delay int) []complex128 {
-	out := make([]complex128, len(rx))
+	return EqualizeTo(nil, rx, w, delay)
+}
+
+// EqualizeTo is Equalize writing into dst (grown only when its capacity
+// is short). dst must not overlap rx. The inner loop clamps the tap
+// range up front instead of bounds-checking per tap; summation order is
+// unchanged, so results are bit-identical to Equalize.
+func EqualizeTo(dst, rx, w []complex128, delay int) []complex128 {
+	out := dsp.GrowComplex(dst, len(rx))
 	for n := range rx {
+		kMin := n + delay - len(rx) + 1
+		if kMin < 0 {
+			kMin = 0
+		}
+		kMax := n + delay
+		if kMax > len(w)-1 {
+			kMax = len(w) - 1
+		}
 		var acc complex128
-		for k, tap := range w {
-			idx := n + delay - k
-			if idx < 0 || idx >= len(rx) {
-				continue
-			}
-			acc += tap * rx[idx]
+		for k := kMin; k <= kMax; k++ {
+			acc += w[k] * rx[n+delay-k]
 		}
 		out[n] = acc
 	}

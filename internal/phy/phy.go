@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"mmtag/internal/dsp"
 )
 
 // Constellation is a symbol alphabet with a power-of-two size. Symbol
@@ -20,6 +22,9 @@ type Constellation struct {
 	points []complex128
 	bits   int
 	name   string
+	// fast, when non-nil, is a structure-aware slicer equivalent to the
+	// linear minimum-distance scan (see buildFastSlicer).
+	fast func(complex128) int
 }
 
 // NewConstellation wraps a point set. The size must be a power of two
@@ -35,7 +40,9 @@ func NewConstellation(name string, points []complex128) (*Constellation, error) 
 	for s := n; s > 1; s >>= 1 {
 		bits++
 	}
-	return &Constellation{points: p, bits: bits, name: name}, nil
+	c := &Constellation{points: p, bits: bits, name: name}
+	c.fast = buildFastSlicer(p)
+	return c, nil
 }
 
 // Name returns the constellation's name.
@@ -73,10 +80,20 @@ func (c *Constellation) MeanPower() float64 {
 
 // Nearest returns the index of the constellation point closest to r in
 // Euclidean distance — the maximum-likelihood decision on an AWGN
-// channel.
+// channel. Alphabets with recognizable structure (rectangular grids
+// such as QAM and the axis-aligned QPSK diamond) decide via per-axis
+// thresholds instead of a full scan; arbitrary point sets fall back to
+// the linear minimum-distance search.
 func (c *Constellation) Nearest(r complex128) int {
+	if c.fast != nil {
+		return c.fast(r)
+	}
+	return nearestScan(c.points, r)
+}
+
+func nearestScan(points []complex128, r complex128) int {
 	best, bestD := 0, math.Inf(1)
-	for i, p := range c.points {
+	for i, p := range points {
 		d := real(r-p)*real(r-p) + imag(r-p)*imag(r-p)
 		if d < bestD {
 			best, bestD = i, d
@@ -173,9 +190,16 @@ func NewOOK() *Constellation {
 
 // ScaleRotate returns a copy of rx corrected by the complex factor g
 // (rx[i] / g), the standard one-tap equalizer applied after channel
-// estimation.
+// estimation. Allocates the output; ScaleRotateTo is the
+// allocation-free variant.
 func ScaleRotate(rx []complex128, g complex128) []complex128 {
-	out := make([]complex128, len(rx))
+	return ScaleRotateTo(nil, rx, g)
+}
+
+// ScaleRotateTo is ScaleRotate writing into dst (grown only when its
+// capacity is short). dst may alias rx.
+func ScaleRotateTo(dst, rx []complex128, g complex128) []complex128 {
+	out := dsp.GrowComplex(dst, len(rx))
 	if g == 0 {
 		copy(out, rx)
 		return out

@@ -82,28 +82,55 @@ func (s *Shaper) Delay() int { return (s.fir.Len() - 1) / 2 }
 // Shape converts symbol points into a pulse-shaped waveform of length
 // len(symbols)*sps + 2*Delay(). The tail is long enough that after the
 // receive MatchedFilter every symbol centre (first at 2*Delay()) exists.
+// Allocates the output; ShapeTo is the allocation-free variant.
 func (s *Shaper) Shape(symbols []complex128) []complex128 {
-	up := dsp.Upsample(symbols, s.sps)
-	up = append(up, make([]complex128, 2*s.Delay())...)
-	return s.fir.Filter(up)
+	return s.ShapeTo(nil, symbols, nil)
 }
 
-// MatchedFilter applies the same RRC as a matched filter.
+// ShapeTo is Shape writing into dst (grown only when its capacity is
+// short) with upsampling scratch borrowed from ar; nil ar allocates the
+// scratch fresh. dst must not overlap symbols.
+func (s *Shaper) ShapeTo(dst, symbols []complex128, ar *dsp.Arena) []complex128 {
+	n := len(symbols)*s.sps + 2*s.Delay()
+	up := ar.ComplexZeroed(n)
+	for i, v := range symbols {
+		up[i*s.sps] = v
+	}
+	out := s.fir.FilterTo(dst, up)
+	ar.PutComplex(up)
+	return out
+}
+
+// MatchedFilter applies the same RRC as a matched filter. Allocates the
+// output; MatchedFilterTo is the allocation-free variant.
 func (s *Shaper) MatchedFilter(x []complex128) []complex128 {
 	return s.fir.Filter(x)
+}
+
+// MatchedFilterTo is MatchedFilter writing into dst (grown only when
+// its capacity is short). dst must not overlap x.
+func (s *Shaper) MatchedFilterTo(dst, x []complex128) []complex128 {
+	return s.fir.FilterTo(dst, x)
 }
 
 // Sample extracts symbol decisions points from a matched-filtered
 // waveform, given the index of the first symbol centre (the cascade
 // group delay for a Shape->MatchedFilter chain is 2*Delay()).
+// Allocates the output; SampleTo is the allocation-free variant.
 func (s *Shaper) Sample(x []complex128, firstCentre, nSymbols int) []complex128 {
-	out := make([]complex128, 0, nSymbols)
+	return s.SampleTo(make([]complex128, 0, nSymbols), x, firstCentre, nSymbols)
+}
+
+// SampleTo is Sample appending into dst[:0] and returning it, growing
+// dst only when its capacity is short of the symbol count.
+func (s *Shaper) SampleTo(dst, x []complex128, firstCentre, nSymbols int) []complex128 {
+	dst = dst[:0]
 	for k := 0; k < nSymbols; k++ {
 		idx := firstCentre + k*s.sps
 		if idx < 0 || idx >= len(x) {
 			break
 		}
-		out = append(out, x[idx])
+		dst = append(dst, x[idx])
 	}
-	return out
+	return dst
 }

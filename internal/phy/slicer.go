@@ -1,0 +1,164 @@
+package phy
+
+import (
+	"math"
+	"sort"
+)
+
+// buildFastSlicer inspects a constellation's geometry and returns a
+// minimum-distance decision function that avoids the full point scan,
+// or nil when no structure is recognized.
+//
+// Two shapes are detected: complete rectangular grids (QAM alphabets,
+// OOK and BPSK as degenerate 1-row grids, 45°-rotated QPSK as a 2×2
+// grid), decided per axis against the level midpoints; and the
+// axis-aligned 4-point diamond (classic QPSK), decided by quadrant.
+// Both agree with the linear scan everywhere except exact decision
+// boundaries, which have zero probability for the continuous-valued
+// inputs the demodulators produce.
+func buildFastSlicer(points []complex128) func(complex128) int {
+	if s := gridSlicer(points); s != nil {
+		return s
+	}
+	return diamondSlicer(points)
+}
+
+// gridSlicer recognizes point sets forming a complete rectangular grid:
+// every combination of the distinct real levels and distinct imaginary
+// levels occurs exactly once. Minimum Euclidean distance then separates
+// into independent per-axis nearest-level decisions.
+func gridSlicer(points []complex128) func(complex128) int {
+	reLvls := axisLevels(points, func(p complex128) float64 { return real(p) })
+	imLvls := axisLevels(points, func(p complex128) float64 { return imag(p) })
+	nre, nim := len(reLvls), len(imLvls)
+	if nre*nim != len(points) {
+		return nil
+	}
+	reIdx := levelIndex(reLvls)
+	imIdx := levelIndex(imLvls)
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, p := range points {
+		cell := reIdx[real(p)]*nim + imIdx[imag(p)]
+		if idx[cell] != -1 {
+			return nil // duplicate point; not a complete grid
+		}
+		idx[cell] = i
+	}
+	reMids := midpoints(reLvls)
+	imMids := midpoints(imLvls)
+	return func(r complex128) int {
+		ri := nearestLevel(reMids, real(r))
+		ii := nearestLevel(imMids, imag(r))
+		return idx[ri*nim+ii]
+	}
+}
+
+func axisLevels(points []complex128, axis func(complex128) float64) []float64 {
+	seen := make(map[float64]bool, len(points))
+	var lvls []float64
+	for _, p := range points {
+		v := axis(p)
+		if !seen[v] {
+			seen[v] = true
+			lvls = append(lvls, v)
+		}
+	}
+	sort.Float64s(lvls)
+	return lvls
+}
+
+func levelIndex(lvls []float64) map[float64]int {
+	m := make(map[float64]int, len(lvls))
+	for i, v := range lvls {
+		m[v] = i
+	}
+	return m
+}
+
+func midpoints(lvls []float64) []float64 {
+	mids := make([]float64, len(lvls)-1)
+	for i := range mids {
+		mids[i] = (lvls[i] + lvls[i+1]) / 2
+	}
+	return mids
+}
+
+// nearestLevel returns the index of the level whose decision region
+// contains v: region i is bounded by mids[i-1] and mids[i].
+func nearestLevel(mids []float64, v float64) int {
+	i := 0
+	for i < len(mids) && v > mids[i] {
+		i++
+	}
+	return i
+}
+
+// diamondSlicer recognizes the axis-aligned 4-point diamond
+// {(a,0), (0,a), (0,-a), (-a,0)} in any index order and decides by
+// dominant axis and sign. Exact |re| == |im| ties resolve to the lowest
+// point index, matching the scan's first-minimum rule.
+func diamondSlicer(points []complex128) func(complex128) int {
+	if len(points) != 4 {
+		return nil
+	}
+	right, up, down, left := -1, -1, -1, -1
+	var radii [4]float64
+	for i, p := range points {
+		re, im := real(p), imag(p)
+		switch {
+		case im == 0 && re > 0:
+			right, radii[0] = i, re
+		case im == 0 && re < 0:
+			left, radii[1] = i, -re
+		case re == 0 && im > 0:
+			up, radii[2] = i, im
+		case re == 0 && im < 0:
+			down, radii[3] = i, -im
+		default:
+			return nil
+		}
+	}
+	if right < 0 || up < 0 || down < 0 || left < 0 {
+		return nil
+	}
+	for _, v := range radii[1:] {
+		if v != radii[0] {
+			return nil
+		}
+	}
+	return func(r complex128) int {
+		re, im := real(r), imag(r)
+		are, aim := math.Abs(re), math.Abs(im)
+		if are > aim {
+			if re > 0 {
+				return right
+			}
+			return left
+		}
+		if aim > are {
+			if im > 0 {
+				return up
+			}
+			return down
+		}
+		// |re| == |im|: two candidates tie (all four at the origin);
+		// the scan would keep the first minimum it met.
+		if are == 0 {
+			return 0
+		}
+		h, v := right, up
+		if re < 0 {
+			h = left
+		}
+		if im < 0 {
+			v = down
+		}
+		if h < v {
+			return h
+		}
+		return v
+	}
+}
