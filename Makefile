@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-check fuzz
+.PHONY: check fmt vet build test race bench bench-json bench-check fuzz docs
 
-check: fmt vet build race
+check: fmt vet build race docs
+
+# Documentation gates: every package has a doc comment (internal ones
+# citing their DESIGN.md section) and every relative markdown link
+# resolves.
+docs:
+	sh scripts/pkgdoc_lint.sh
+	sh scripts/mdlink_check.sh
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -21,8 +28,10 @@ build:
 test:
 	$(GO) test ./...
 
+# internal/eval replays the full experiment suite several times under
+# the race detector; give it headroom beyond the default 10m.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -110,6 +110,18 @@ func BenchmarkE18RoomClutter(b *testing.B) {
 	benchTable(b, func() (*eval.Table, error) { return eval.E18RoomClutter(nil) })
 }
 
+func BenchmarkE19APScaling(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E19APScaling(benchSeed) })
+}
+
+func BenchmarkE20HandoffLatency(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E20HandoffLatency(benchSeed) })
+}
+
+func BenchmarkE21EdgeReuse(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E21EdgeReuse(benchSeed) })
+}
+
 func BenchmarkA1RangeVsArraySize(b *testing.B) {
 	benchTable(b, func() (*eval.Table, error) { return eval.A1RangeVsArraySize(nil) })
 }

@@ -1,10 +1,13 @@
 // Command mmtag-bench regenerates the evaluation tables and figures
-// (E1-E12, T2, T3 — see DESIGN.md section 4 and EXPERIMENTS.md).
+// (E1-E21, A1-A2, R1-R3, T2, T3 — see DESIGN.md section 4 and
+// EXPERIMENTS.md).
 //
 // Usage:
 //
 //	mmtag-bench                     # run everything, print text tables
 //	mmtag-bench -experiment E4      # one experiment
+//	mmtag-bench -faults             # chaos-soak subset R1..R3
+//	mmtag-bench -aps                # multi-AP deployment subset E19..E21
 //	mmtag-bench -csv -out results/  # write one CSV per experiment
 //	mmtag-bench -seed 7             # change the Monte-Carlo seed
 //	mmtag-bench -parallel 8         # shard experiments across 8 workers
@@ -49,8 +52,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E18, A1, A2, R1..R3, T2, T3, or all)")
+	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E21, A1, A2, R1..R3, T2, T3, or all)")
 	faults := flag.Bool("faults", false, "run only the chaos-soak experiments (R1..R3)")
+	aps := flag.Bool("aps", false, "run only the multi-AP deployment experiments (E19..E21)")
 	seed := flag.Int64("seed", 42, "seed for Monte-Carlo experiments")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment pool (1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -82,11 +86,20 @@ func main() {
 	defer pool.Close()
 	x := eval.Exec{Pool: pool}
 	id := *experiment
+	if *faults && *aps {
+		fail(fmt.Errorf("-faults and -aps select disjoint subsets; pick one"))
+	}
 	if *faults {
 		if id != "all" {
 			fail(fmt.Errorf("-faults selects the chaos suite; drop -experiment %s", id))
 		}
 		id = "chaos"
+	}
+	if *aps {
+		if id != "all" {
+			fail(fmt.Errorf("-aps selects the deployment suite; drop -experiment %s", id))
+		}
+		id = "net"
 	}
 	tables, err := runMetered(x, id, *seed, reg)
 	if err != nil {
@@ -157,6 +170,8 @@ func runMetered(x eval.Exec, id string, seed int64, reg *obs.Registry) ([]*eval.
 		ids = eval.ExperimentIDs()
 	} else if strings.EqualFold(id, "chaos") {
 		ids = eval.ChaosExperimentIDs()
+	} else if strings.EqualFold(id, "net") {
+		ids = eval.NetExperimentIDs()
 	}
 	results := make([][]*eval.Table, len(ids))
 	err := x.Pool.Map(x.Ctx, len(ids), func(i int) error {
@@ -243,23 +258,28 @@ func writeProfiles(dir string, w io.Writer) error {
 }
 
 // run dispatches to the eval suite: "all" shards experiments across
-// x.Pool, "chaos" runs the fault-injection soaks (R1..R3), a single ID
-// runs just that experiment (its trial grid still shards across the
-// pool).
+// x.Pool, "chaos" runs the fault-injection soaks (R1..R3), "net" runs
+// the multi-AP deployment subset (E19..E21), and a single ID runs just
+// that experiment (its trial grid still shards across the pool).
 func run(x eval.Exec, id string, seed int64) ([]*eval.Table, error) {
 	if strings.EqualFold(id, "all") {
 		return eval.RunSuite(x, nil, seed)
 	}
-	if strings.EqualFold(id, "chaos") {
-		var out []*eval.Table
-		for _, cid := range eval.ChaosExperimentIDs() {
-			tables, err := eval.RunExperiment(x, cid, nil, seed)
-			if err != nil {
-				return nil, err
+	for sub, subIDs := range map[string]func() []string{
+		"chaos": eval.ChaosExperimentIDs,
+		"net":   eval.NetExperimentIDs,
+	} {
+		if strings.EqualFold(id, sub) {
+			var out []*eval.Table
+			for _, cid := range subIDs() {
+				tables, err := eval.RunExperiment(x, cid, nil, seed)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, tables...)
 			}
-			out = append(out, tables...)
+			return out, nil
 		}
-		return out, nil
 	}
 	return eval.RunExperiment(x, id, nil, seed)
 }

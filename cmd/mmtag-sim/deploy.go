@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mmtag/internal/fault"
+	"mmtag/internal/net"
+	"mmtag/internal/obs"
+	"mmtag/internal/par"
+	"mmtag/internal/trace"
+)
+
+// deployMobileFrac is the fraction of tags that walk in a multi-AP run
+// (the -aps path's fixed mobility model; each tag's motion derives from
+// -seed, so the whole run stays reproducible).
+const deployMobileFrac = 0.25
+
+// runDeployment executes the -aps path: a tiled multi-AP deployment
+// with spatial sharding, handoff and edge interference, run across
+// -parallel workers. The printed report is byte-identical at any
+// -parallel value — and deliberately contains no wall-clock numbers —
+// so a golden test can pin it.
+func runDeployment(o options) error {
+	if o.sweep > 0 {
+		return fmt.Errorf("-aps cannot be combined with -sweep (deployment runs are single-shot)")
+	}
+	if o.pprofDir != "" {
+		return fmt.Errorf("-aps cannot be combined with -pprof")
+	}
+	plan, err := fault.ParseSpec(o.faults)
+	if err != nil {
+		return err
+	}
+	var rec *trace.Recorder
+	if o.trace != "" {
+		rec = trace.NewRecorder(100_000)
+	}
+	var reg *obs.Registry
+	var handle *obs.Handle
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		handle = obs.NewHandle(reg, nil)
+	}
+	pool := par.New(par.Config{Workers: o.parallel, Registry: reg})
+	defer pool.Close()
+	d, err := net.New(net.Config{
+		APs:        o.aps,
+		Tags:       o.tags,
+		MobileFrac: deployMobileFrac,
+		Duration:   o.duration,
+		SDM:        o.sdm,
+		Modulation: o.modulation,
+		Seed:       o.seed,
+		Faults:     plan,
+		Pool:       pool,
+		Trace:      rec,
+		Obs:        handle,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := d.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(o.out, "mmtag-sim: %d APs (%dx%d grid, %.0fx%.0f m), %d tags (%.0f%% mobile), %d epochs x %.3gs, modulation %s, sdm=%v, seed %d\n",
+		rep.APs, rep.Rows, rep.Cols, d.Width(), d.Height(),
+		rep.Tags, deployMobileFrac*100, rep.Epochs, o.duration/float64(rep.Epochs),
+		o.modulation, o.sdm, o.seed)
+	if o.faults != "" {
+		fmt.Fprintf(o.out, "faults: %s\n", o.faults)
+	}
+
+	fmt.Fprintln(o.out, "\ncells:")
+	for _, c := range rep.Cells {
+		pos := d.APPos(c.AP)
+		fmt.Fprintf(o.out, "  ap %2d @ (%5.1f, %5.1f)  tags %3d  discovered %3d  frames %6d ok / %4d lost  goodput %8.2f Mb/s\n",
+			c.AP, pos.X, pos.Y, c.TagsServed, c.Discovered,
+			c.FramesOK, c.FramesLost, c.GoodputBps/1e6)
+	}
+
+	fmt.Fprintln(o.out, "\ndeployment:")
+	fmt.Fprintf(o.out, "  aggregate goodput %.2f Mb/s\n", rep.AggregateGoodputBps/1e6)
+	fmt.Fprintf(o.out, "  frames            %d ok, %d lost\n", rep.FramesOK, rep.FramesLost)
+	fmt.Fprintf(o.out, "  discovered        %d / %d tags (final epoch)\n", rep.Discovered, rep.Tags)
+	fmt.Fprintf(o.out, "  handoffs          %d (%d duplicate polls)\n",
+		len(rep.Handoffs), rep.DuplicatePolls)
+	if len(rep.Handoffs) > 0 {
+		fmt.Fprintln(o.out, "\nhandoffs:")
+		for _, h := range rep.Handoffs {
+			fmt.Fprintf(o.out, "  epoch %2d  t %6.3fs  tag %3d  ap%d -> ap%d  %-8s latency %.2f ms  dup %d\n",
+				h.Epoch, h.T, h.Tag, h.From, h.To, h.Reason, h.LatencyS*1e3, h.DupPolls)
+		}
+	}
+
+	if o.trace != "" {
+		if err := writeDeployTrace(rec, o.trace, o.out); err != nil {
+			return err
+		}
+	}
+	if o.metrics != "" {
+		if err := writeMetrics(reg.Snapshot(), o.metrics, o.metricsFormat, o.out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeDeployTrace writes the deployment's association/handoff event
+// log: JSON lines for .jsonl/.json paths, the text timeline otherwise.
+func writeDeployTrace(rec *trace.Recorder, path string, w io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if traceIsJSONL(path) {
+		err = rec.WriteJSONL(f)
+	} else {
+		_, err = io.WriteString(f, rec.Render())
+	}
+	if err == nil {
+		fmt.Fprintf(w, "\nwrote trace to %s\n", path)
+	}
+	return err
+}

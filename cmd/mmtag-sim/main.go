@@ -10,11 +10,19 @@
 //	mmtag-sim -tags 8 -metrics - -trace run.jsonl
 //	mmtag-sim -tags 8 -metrics run.json -pprof profiles/
 //	mmtag-sim -tags 8 -sweep 16 -parallel 4
+//	mmtag-sim -aps 4 -tags 64 -seed 42
 //
 // -sweep N re-runs the scenario under N independent RNG streams
 // derived from -seed and reports per-replicate results plus the
 // mean±std aggregate; -parallel shards the replicates across workers
 // without changing a byte of the output.
+//
+// -aps N (N > 1) switches to the multi-AP deployment layer
+// (internal/net, DESIGN.md section 7): N wall-mounted APs tile a grid,
+// tags associate to the best covering AP, mobile tags hand off between
+// cells, and each cell's inventory runs as one shard per epoch on the
+// -parallel pool. The report is byte-identical at any -parallel value
+// and is pinned by a golden test.
 //
 // With -metrics the run is metered by the observability layer and the
 // final snapshot is written in Prometheus text exposition format (or
@@ -42,6 +50,7 @@ import (
 
 // options collects the CLI parameters run needs.
 type options struct {
+	aps           int
 	tags          int
 	duration      float64
 	spread        float64
@@ -62,6 +71,7 @@ type options struct {
 
 func main() {
 	var o options
+	flag.IntVar(&o.aps, "aps", 1, "number of access points (>1 switches to the multi-AP deployment)")
 	flag.IntVar(&o.tags, "tags", 8, "number of tags to place")
 	flag.Float64Var(&o.duration, "duration", 0.2, "polling phase duration, simulated seconds")
 	flag.Float64Var(&o.spread, "spread", 6, "maximum tag distance in metres (minimum 1.5)")
@@ -73,7 +83,7 @@ func main() {
 	flag.StringVar(&o.faults, "faults", "",
 		"fault-injection spec, e.g. 'blockage=30,death=0.25,ackloss=0.2' (keys: blockage dB, clear s, blocked s, death prob, lifetime s, brownout dBm, period s, ackloss prob, snr dB)")
 	flag.IntVar(&o.sweep, "sweep", 0, "run N replicates under seeds derived from -seed and report mean±std (0 = single run)")
-	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "worker count for -sweep replicates (1 = serial)")
+	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "worker count for -sweep replicates and -aps cells (1 = serial)")
 	flag.StringVar(&o.trace, "trace", "", "write the event/span log to this file (JSONL when it ends in .jsonl/.json)")
 	flag.StringVar(&o.metrics, "metrics", "", "write the run's metrics snapshot to this file (- for stdout)")
 	flag.StringVar(&o.metricsFormat, "metrics-format", "auto", "metrics format: auto, text (Prometheus) or json")
@@ -98,6 +108,12 @@ func run(o options) error {
 	}
 	if o.out == nil {
 		o.out = os.Stdout
+	}
+	if o.aps < 1 {
+		return fmt.Errorf("aps must be >= 1, got %d", o.aps)
+	}
+	if o.aps > 1 {
+		return runDeployment(o)
 	}
 	if o.sweep > 0 {
 		return runSweep(o)

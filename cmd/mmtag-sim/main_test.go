@@ -12,6 +12,7 @@ import (
 
 func baseOptions() options {
 	return options{
+		aps:           1,
 		tags:          4,
 		duration:      0.02,
 		spread:        5,

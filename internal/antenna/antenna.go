@@ -6,6 +6,9 @@
 // Angles are in radians measured from array broadside unless a name says
 // degrees. Gains returned by Gain methods are linear power ratios
 // (dimensionless); multiply into link budgets directly.
+//
+// DESIGN.md: section 3 (module inventory); these arrays implement the AP
+// beam model of section 1.
 package antenna
 
 import (

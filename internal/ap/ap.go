@@ -17,6 +17,9 @@
 // uplink baseband has no CFO: the static leakage and clutter terms land
 // exactly at DC, which is what makes the offset-estimation approach of
 // the reader work.
+//
+// DESIGN.md: section 1 (system reconstruction, AP side) and section 3
+// (module inventory).
 package ap
 
 import (

@@ -9,6 +9,9 @@
 // analytic face (SNR from the link budget, used by the packet-level
 // simulator) and a sample-level face (impairments applied to complex
 // baseband waveforms).
+//
+// DESIGN.md: section 1 (link reconstruction), section 3 (module inventory)
+// and section 6 (the two fidelity levels).
 package channel
 
 import (

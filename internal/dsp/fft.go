@@ -7,6 +7,9 @@
 // Signals are []complex128 sample slices at an implicit sample rate that
 // callers carry alongside. All transforms are deterministic and
 // allocation patterns are documented on each function.
+//
+// DESIGN.md: section 3 (module inventory); the waveform level of section 6
+// runs on these kernels.
 package dsp
 
 import (

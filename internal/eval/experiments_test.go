@@ -557,7 +557,7 @@ func TestAllTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 26 { // E1..E18 (+E11b) + A1 + A2 + T2 + T3 + R1..R3
+	if len(tabs) != 29 { // E1..E21 (+E11b) + A1 + A2 + T2 + T3 + R1..R3
 		t.Fatalf("AllTables returned %d tables", len(tabs))
 	}
 	seen := map[string]bool{}

@@ -1,6 +1,7 @@
 // Package eval is the experiment harness that regenerates the paper-style
 // evaluation: descriptive statistics, result tables, and the experiment
-// implementations E1-E12/T2-T3 indexed in DESIGN.md. Each experiment is a
+// implementations (E1-E21, A1-A2, R1-R3, T2-T3) indexed in DESIGN.md
+// section 4. Each experiment is a
 // pure function of its parameters and a seed, so benches and the CLI
 // reproduce identical numbers.
 package eval

@@ -12,6 +12,9 @@
 // produce byte-identical results at any -parallel width: the streams
 // exist independently of which worker executes the run and of how many
 // queries other tags' faults answered first.
+//
+// DESIGN.md: section 3 (module inventory); drives the chaos-soak
+// experiments R1-R3 of section 4.
 package fault
 
 import (

@@ -3,6 +3,9 @@
 // the lightweight header, a rate-1/2 constraint-length-7 convolutional
 // code with Viterbi decoding for payloads, plus the block interleaver
 // and scrambler that condition the coded stream.
+//
+// DESIGN.md: section 3 (module inventory); the coded-link experiment E12 of
+// section 4 exercises it end to end.
 package fec
 
 // CRC16 computes the CRC-16/CCITT-FALSE checksum (poly 0x1021, init

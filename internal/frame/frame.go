@@ -5,6 +5,9 @@
 // The framer deals in bits ([]byte of 0/1 values) so that the PHY layer
 // is free to map them onto whichever backscatter alphabet the link
 // adaptation selected.
+//
+// DESIGN.md: section 1 (air interface reconstruction) and section 3 (module
+// inventory).
 package frame
 
 import (

@@ -3,6 +3,9 @@
 // quantities the radio layer consumes — obstacle attenuation along a
 // path, monostatic wall-clutter reflectors for the AP's cancellation
 // problem, and polar (distance, azimuth) coordinates for tag placement.
+//
+// DESIGN.md: section 3 (module inventory); the room-geometry experiment E18
+// of section 4 and the deployment grid of section 7 build on it.
 package geom
 
 import (

@@ -15,6 +15,8 @@
 //	meta    [metaLen]byte (UTF-8, free-form)
 //	count   uint64   number of complex samples
 //	samples count × (float32 I, float32 Q)
+//
+// DESIGN.md: section 3 (module inventory).
 package iq
 
 import (

@@ -6,6 +6,9 @@
 // The MAC is written against the small Medium interface so the same
 // logic runs over the packet-level simulator (internal/sim) and over
 // analytic link budgets in the benchmarks.
+//
+// DESIGN.md: section 1 (protocol reconstruction) and section 3 (module
+// inventory).
 package mac
 
 import (

@@ -1,0 +1,368 @@
+package net
+
+import (
+	"fmt"
+	"math"
+
+	"mmtag/internal/ap"
+	"mmtag/internal/geom"
+	"mmtag/internal/mac"
+	"mmtag/internal/par"
+	"mmtag/internal/rfmath"
+	"mmtag/internal/sim"
+	"mmtag/internal/tag"
+	"mmtag/internal/vanatta"
+)
+
+// discoverySectorDeg is the per-cell beam-sweep half-angle. APs are
+// wall-mounted facing into their cell, so a wide sweep (±72°) covers
+// everything except the extreme corners — the realistic coverage of a
+// wall-mounted phased array.
+const discoverySectorDeg = 72
+
+// probeTagID is the reserved tag ID ProbeSINR uses; deployments are
+// limited to 255 tags so it never collides with a placed tag.
+const probeTagID = 255
+
+// CellReport aggregates one AP cell over all epochs.
+type CellReport struct {
+	// AP is the cell's AP index.
+	AP int
+	// TagsServed is the cell's roster size in the final epoch.
+	TagsServed int
+	// Discovered is the final epoch's discovery count.
+	Discovered int
+	// PollCycles, FramesOK and FramesLost are summed across epochs.
+	PollCycles int
+	FramesOK   int
+	FramesLost int
+	// GoodputBps is the cell's mean per-epoch aggregate goodput.
+	GoodputBps float64
+}
+
+// Report is the outcome of a full multi-AP run.
+type Report struct {
+	// APs, Rows, Cols, Tags and Epochs echo the resolved configuration.
+	APs, Rows, Cols, Tags, Epochs int
+	// Cells holds one aggregate per AP, in AP index order.
+	Cells []CellReport
+	// AggregateGoodputBps sums the cells' mean per-epoch goodput.
+	AggregateGoodputBps float64
+	// FramesOK and FramesLost are deployment totals across all epochs.
+	FramesOK, FramesLost int
+	// Discovered is how many of the placed tags the final epoch's
+	// inventory reached, summed across cells.
+	Discovered int
+	// Handoffs lists every inter-AP handoff in (epoch, tag) order.
+	Handoffs []Handoff
+	// DuplicatePolls sums the per-handoff stale-roster estimates.
+	DuplicatePolls int
+}
+
+// HandoffLatencies returns the handoff latencies in occurrence order
+// (convenient for CDFs).
+func (r *Report) HandoffLatencies() []float64 {
+	out := make([]float64, len(r.Handoffs))
+	for i, h := range r.Handoffs {
+		out[i] = h.LatencyS
+	}
+	return out
+}
+
+// ProbeRate is the default rate ProbeSINR evaluations use: QPSK at
+// 20 Mb/s, a mid-table entry of the MAC's rate ladder that the default
+// deployment tag hardware can produce.
+func ProbeRate() mac.Rate { return mac.Rate{Mod: mac.ModQPSK(), BitRate: 20e6} }
+
+// newCellAP builds the per-cell access point (the reconstructed
+// testbed AP; every cell is identical hardware).
+func newCellAP() (*ap.AP, error) { return ap.New(ap.DefaultConfig()) }
+
+// cellStream derives the per-(epoch, cell) RNG stream coordinate.
+func cellStream(epoch, cell int) uint64 {
+	return streamCellBase + uint64(epoch)*maxCells + uint64(cell)
+}
+
+// coChannel reports whether cells a and b share a channel under the
+// reuse rule: rows and columns both differ by multiples of ReuseCells.
+func (d *Deployment) coChannel(a, b int) bool {
+	ra, ca := a/d.cols, a%d.cols
+	rb, cb := b/d.cols, b%d.cols
+	n := d.cfg.ReuseCells
+	return (ra-rb)%n == 0 && (ca-cb)%n == 0
+}
+
+// Run simulates the deployment: Epochs rounds of (move tags,
+// re-associate, run every AP cell concurrently on the pool). Output is
+// a pure function of the configuration — cells write into indexed
+// slots and all cross-cell state (association, handoffs, metrics) is
+// updated serially between epochs, so any worker count produces the
+// identical Report.
+func (d *Deployment) Run() (*Report, error) {
+	cfg := d.cfg
+	rep := &Report{
+		APs:    cfg.APs,
+		Rows:   d.rows,
+		Cols:   d.cols,
+		Tags:   cfg.Tags,
+		Epochs: cfg.Epochs,
+		Cells:  make([]CellReport, cfg.APs),
+	}
+	for c := range rep.Cells {
+		rep.Cells[c].AP = c
+	}
+	// Announce the initial associations (epoch 0) before any cell runs.
+	for _, t := range d.tags {
+		d.emitAssoc(0, t.id, t.serving, d.snrEstDB(t.serving, t.pos))
+	}
+
+	epochDur := cfg.Duration / float64(cfg.Epochs)
+	prevPolls := make([]int, cfg.APs)
+	for e := 0; e < cfg.Epochs; e++ {
+		if e > 0 {
+			d.step()
+			hs := d.reassociate(e, prevPolls)
+			rep.Handoffs = append(rep.Handoffs, hs...)
+			for _, h := range hs {
+				rep.DuplicatePolls += h.DupPolls
+			}
+		}
+		rosters := make([][]*tagState, cfg.APs)
+		for _, t := range d.tags {
+			rosters[t.serving] = append(rosters[t.serving], t)
+		}
+		cellReps := make([]*sim.InventoryReport, cfg.APs)
+		epoch := e
+		if err := cfg.Pool.Map(nil, cfg.APs, func(c int) error {
+			var err error
+			cellReps[c], err = d.runCell(epoch, c, epochDur, rosters)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("net: epoch %d: %w", e, err)
+		}
+		// Fold cell results serially, in AP index order.
+		for c := 0; c < cfg.APs; c++ {
+			cr := cellReps[c]
+			prevPolls[c] = cr.PollCycles
+			cell := &rep.Cells[c]
+			cell.TagsServed = len(rosters[c])
+			cell.Discovered = cr.Discovered
+			cell.PollCycles += cr.PollCycles
+			cell.FramesOK += cr.FramesOK
+			cell.FramesLost += cr.FramesLost
+			cell.GoodputBps += cr.GoodputBps / float64(cfg.Epochs)
+			rep.FramesOK += cr.FramesOK
+			rep.FramesLost += cr.FramesLost
+			if e == cfg.Epochs-1 {
+				rep.Discovered += cr.Discovered
+			}
+			// Health verdicts feed the next epoch's handoff decisions.
+			for _, t := range rosters[c] {
+				if h, ok := cr.TagHealth[t.id]; ok {
+					t.suspect = h != mac.HealthActive
+				}
+			}
+		}
+	}
+	for c := range rep.Cells {
+		rep.AggregateGoodputBps += rep.Cells[c].GoodputBps
+		if d.m != nil {
+			d.m.cellGoodpt.With(apLabel(c)).Set(rep.Cells[c].GoodputBps)
+		}
+	}
+	return rep, nil
+}
+
+// runCell simulates one AP cell for one epoch: a fresh Network holding
+// the cell's roster in the AP's polar frame, the co-channel edge
+// interferers, and a sim.RunInventory over the epoch's time slice with
+// a par.Derive-sharded seed. It reads only immutable epoch state
+// (rosters, tag positions), so cells are safe to run concurrently.
+func (d *Deployment) runCell(epoch, c int, dur float64, rosters [][]*tagState) (*sim.InventoryReport, error) {
+	cfg := d.cfg
+	a, err := newCellAP()
+	if err != nil {
+		return nil, err
+	}
+	n, err := sim.NewNetwork(a, nil)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := vanatta.ByName(cfg.Modulation)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range rosters[c] {
+		arr, err := vanatta.New(vanatta.Config{
+			Elements:        cfg.TagElements,
+			InsertionLossDB: tagInsertionLossDB,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dev, err := tag.New(tag.Config{
+			ID:             t.id,
+			Array:          arr,
+			Modulation:     mod,
+			SwitchRiseTime: 2e-9,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dist, az := geom.Polar(d.apPos[c], t.pos, math.Pi/2)
+		if dist < minAssocDistM {
+			dist = minAssocDistM
+		}
+		if err := n.AddTag(sim.Placement{
+			Device:     dev,
+			DistanceM:  dist,
+			AzimuthRad: az,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.addEdgeInterferers(n, c, rosters); err != nil {
+		return nil, err
+	}
+	return sim.RunInventory(n, sim.InventoryConfig{
+		SectorRad: sim.Deg(discoverySectorDeg),
+		Duration:  dur,
+		Station:   mac.StationConfig{Health: mac.DefaultHealthConfig()},
+		SDM:       cfg.SDM,
+		SDMChains: cfg.SDMChains,
+		Seed:      par.Derive(cfg.Seed, cellStream(epoch, c)),
+		Faults:    cfg.Faults,
+	})
+}
+
+// addEdgeInterferers adds, to victim cell c's network, one co-channel
+// interferer per foreign tag within InterfRangeM of c's AP: the tag's
+// backscatter of its own serving AP's carrier, re-radiated toward the
+// victim through its Van Atta bistatic pattern.
+func (d *Deployment) addEdgeInterferers(n *sim.Network, c int, rosters [][]*tagState) error {
+	cfg := d.cfg
+	victim := d.apPos[c]
+	for cc := range rosters {
+		if cc == c || !d.coChannel(c, cc) {
+			continue
+		}
+		for _, t := range rosters[cc] {
+			dist, az := geom.Polar(victim, t.pos, math.Pi/2)
+			if dist > cfg.InterfRangeM || dist <= 0 {
+				continue
+			}
+			eirp := d.tagLeakageEIRPW(t, cc)
+			if eirp <= 0 {
+				continue
+			}
+			if err := n.AddInterferer(sim.Interferer{
+				AzimuthRad: az,
+				DistanceM:  dist,
+				EIRPW:      eirp,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tagLeakageEIRPW estimates the power tag t radiates toward a foreign
+// AP: the incident power from its serving AP cc, scattered through the
+// Van Atta array's bistatic gain between the retro direction and the
+// victim's direction.
+func (d *Deployment) tagLeakageEIRPW(t *tagState, cc int) float64 {
+	servDist := geom.Dist(d.apPos[cc], t.pos)
+	if servDist < minAssocDistM {
+		servDist = minAssocDistM
+	}
+	l := d.assocLink(servDist)
+	incident, err := l.TagIncidentPowerW()
+	if err != nil {
+		return 0
+	}
+	// Angle between the serving direction (retro) and the victim
+	// direction, as seen from the tag facing its serving AP.
+	thetaOut := bearingDelta(t.pos, d.apPos[t.serving], d.apPos[cc])
+	return incident * d.estRefl.BistaticGain(0, thetaOut)
+}
+
+// bearingDelta returns the absolute angle at p between directions to a
+// and to b, normalized to [0, pi].
+func bearingDelta(p, a, b geom.Point) float64 {
+	da := math.Atan2(a.Y-p.Y, a.X-p.X)
+	db := math.Atan2(b.Y-p.Y, b.X-p.X)
+	delta := math.Mod(da-db, 2*math.Pi)
+	if delta > math.Pi {
+		delta -= 2 * math.Pi
+	}
+	if delta <= -math.Pi {
+		delta += 2 * math.Pi
+	}
+	return math.Abs(delta)
+}
+
+// ProbeSINR evaluates the victim-side link quality a hypothetical tag
+// at pos would see from cell c's AP under the current association
+// state: the cell network is rebuilt with just the probe tag plus the
+// co-channel edge interferers, and the SINR is evaluated with the beam
+// steered at the probe. Returns the SINR in dB and the number of
+// interferers in range (E21 uses both).
+func (d *Deployment) ProbeSINR(c int, pos geom.Point, r mac.Rate) (sinrDB float64, interferers int, err error) {
+	a, err := newCellAP()
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := sim.NewNetwork(a, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	mod, err := vanatta.ByName(d.cfg.Modulation)
+	if err != nil {
+		return 0, 0, err
+	}
+	arr, err := vanatta.New(vanatta.Config{
+		Elements:        d.cfg.TagElements,
+		InsertionLossDB: tagInsertionLossDB,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	dev, err := tag.New(tag.Config{
+		ID:             probeTagID,
+		Array:          arr,
+		Modulation:     mod,
+		SwitchRiseTime: 2e-9,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	dist, az := geom.Polar(d.apPos[c], pos, math.Pi/2)
+	if dist < minAssocDistM {
+		dist = minAssocDistM
+	}
+	if err := n.AddTag(sim.Placement{Device: dev, DistanceM: dist, AzimuthRad: az}); err != nil {
+		return 0, 0, err
+	}
+	rosters := make([][]*tagState, d.cfg.APs)
+	for _, t := range d.tags {
+		rosters[t.serving] = append(rosters[t.serving], t)
+	}
+	if err := d.addEdgeInterferers(n, c, rosters); err != nil {
+		return 0, 0, err
+	}
+	for cc := range rosters {
+		if cc != c && d.coChannel(c, cc) {
+			for _, t := range rosters[cc] {
+				if dd := geom.Dist(d.apPos[c], t.pos); dd <= d.cfg.InterfRangeM {
+					interferers++
+				}
+			}
+		}
+	}
+	snr, audible := n.SNR(probeTagID, az, r)
+	if !audible {
+		return math.Inf(-1), interferers, nil
+	}
+	return rfmath.DB(snr), interferers, nil
+}

@@ -7,6 +7,9 @@
 // Every instrument is nil-safe: methods on nil receivers no-op without
 // allocating, so hot paths can hold a possibly-nil *Handle and stay
 // allocation-free when observability is off.
+//
+// DESIGN.md: section 3 (module inventory); a write-only side channel, so
+// metering a run never changes its results.
 package obs
 
 import (

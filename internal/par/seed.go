@@ -7,6 +7,9 @@
 // A nil *Pool is a valid "serial" pool: Map on it runs shards in order
 // on the calling goroutine, so code can thread one possibly-nil handle
 // and get byte-identical results at any parallelism.
+//
+// DESIGN.md: section 3 (module inventory) and section 6 (determinism
+// methodology).
 package par
 
 import "math/rand"

@@ -6,6 +6,9 @@
 // The constellation abstraction is deliberately generic ([]complex128
 // points): the tag's backscatter alphabets (vanatta.StateSet) plug in
 // directly, as do classical alphabets for baseline comparisons.
+//
+// DESIGN.md: section 1 (modem reconstruction), section 3 (module inventory)
+// and section 6 (waveform fidelity level).
 package phy
 
 import (

@@ -1,6 +1,8 @@
 // Package plot renders simple ASCII line/scatter charts for experiment
 // sweeps, so the benchmark CLI can show figure shapes in a terminal
 // without any graphics dependency.
+//
+// DESIGN.md: section 3 (module inventory).
 package plot
 
 import (

@@ -6,6 +6,9 @@
 //
 // All functions are pure and allocation-free; power quantities are watts
 // unless the name says otherwise (dB, dBm, dBi).
+//
+// DESIGN.md: section 3 (module inventory); the analytic face of section 6's
+// packet level.
 package rfmath
 
 import (

@@ -3,6 +3,9 @@
 // point, a mac.Medium implementation backed by the full link budget, and
 // inventory/streaming scenario runners used by the examples and the
 // evaluation harness.
+//
+// DESIGN.md: section 6 (simulation methodology) and section 3 (module
+// inventory); section 7's deployment layer runs one of these per AP cell.
 package sim
 
 import (

@@ -73,6 +73,11 @@ type InventoryReport struct {
 	// Recovery reports the fault/degradation SLOs; nil on unfaulted
 	// runs.
 	Recovery *RecoveryReport
+	// TagHealth is the station's final belief about every placed tag,
+	// present when the health state machine ran (faulted runs, or an
+	// explicit Station.Health config). Multi-AP drivers use it to decide
+	// health-triggered handoffs.
+	TagHealth map[uint8]mac.Health
 }
 
 // RecoveryReport summarizes how the MAC degraded and recovered under an
@@ -424,6 +429,12 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 		rep.EnergyPerBitJ = backscatterE / float64(rep.totalBits)
 	}
 	rep.MACStats = station.Stats
+	if stCfg.Health.Enabled() {
+		rep.TagHealth = make(map[uint8]mac.Health, n.TagCount())
+		for _, id := range n.Tags() {
+			rep.TagHealth[id] = station.Health(id)
+		}
+	}
 	if inj != nil {
 		st := station.Stats
 		rr := &RecoveryReport{

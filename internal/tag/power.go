@@ -8,6 +8,9 @@
 // detector listens for the AP's query, and a microcontroller sequences
 // everything. Power draw therefore comes from the switches (static bias
 // plus per-transition drive energy), the envelope detector, and the MCU.
+//
+// DESIGN.md: section 1 (tag reconstruction) and section 3 (module
+// inventory); the power model behind E8/T2/T3 of section 4.
 package tag
 
 import (

@@ -3,6 +3,8 @@
 // changes, blockage transitions) that tooling can filter, summarize, or
 // export as JSON lines for offline analysis — the packet-capture
 // equivalent for the packet-level simulator.
+//
+// DESIGN.md: section 3 (module inventory).
 package trace
 
 import (
@@ -29,6 +31,12 @@ const (
 	// KindFault marks an injected fault transition (blockage start/end,
 	// tag death, brownout edge); Detail carries the fault kind and state.
 	KindFault Kind = "fault"
+	// KindAssoc marks a tag's (re)association with an access point in a
+	// multi-AP deployment.
+	KindAssoc Kind = "assoc"
+	// KindHandoff marks an inter-AP handoff of a tag in a multi-AP
+	// deployment; Detail carries the source/target AP and the latency.
+	KindHandoff Kind = "handoff"
 	// KindHealth marks a MAC health-state transition (active/suspect/
 	// lost); Detail carries "from->to".
 	KindHealth Kind = "health"

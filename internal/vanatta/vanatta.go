@@ -17,6 +17,9 @@
 // and 16-QAM backscatter modulation (package modstate types).
 //
 // Angles are radians from array broadside. Gains are linear power ratios.
+//
+// DESIGN.md: section 1 (the tag antenna reconstruction) and section 3
+// (module inventory).
 package vanatta
 
 import (

@@ -1,0 +1,36 @@
+#!/bin/sh
+# mdlink_check.sh — check that every relative markdown link in the
+# repo's documentation resolves to an existing file or directory.
+# External links (http/https/mailto) and pure in-page anchors are
+# skipped; "file.md#anchor" links are checked for the file part only.
+#
+# Usage: scripts/mdlink_check.sh   (run from the repo root)
+set -eu
+
+fail=0
+
+for doc in *.md .github/*.md docs/*.md; do
+	[ -f "$doc" ] || continue
+	dir=$(dirname "$doc")
+	# Pull out the (target) of every [text](target) link, one per line.
+	grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/' |
+		while IFS= read -r target; do
+			case "$target" in
+			http://* | https://* | mailto:*) continue ;;
+			'#'*) continue ;;
+			esac
+			path=${target%%#*}
+			[ -n "$path" ] || continue
+			if [ ! -e "$dir/$path" ]; then
+				echo "mdlink_check: $doc: broken link -> $target"
+				echo broken >>/tmp/mdlink_check.$$
+			fi
+		done
+done
+
+if [ -f "/tmp/mdlink_check.$$" ]; then
+	rm -f "/tmp/mdlink_check.$$"
+	echo "mdlink_check: FAIL"
+	exit 1
+fi
+echo "mdlink_check: OK"

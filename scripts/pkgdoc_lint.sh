@@ -1,0 +1,54 @@
+#!/bin/sh
+# pkgdoc_lint.sh — fail when a package under internal/ or cmd/ lacks a
+# package comment (a "// Package <name> ..." or "// Command <name> ..."
+# doc block on its package clause), or when an internal package's
+# comment does not cite its DESIGN.md section. Keeps the godoc layer
+# and the design document from drifting apart.
+#
+# Usage: scripts/pkgdoc_lint.sh   (run from the repo root)
+set -eu
+
+fail=0
+
+for dir in internal/*/ cmd/*/; do
+	pkg=$(basename "$dir")
+	case "$dir" in
+	cmd/*) lead="// Command $pkg" ;;
+	*) lead="// Package $pkg" ;;
+	esac
+
+	docfile=""
+	for f in "$dir"*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		if grep -q "^$lead" "$f"; then
+			docfile=$f
+			break
+		fi
+	done
+	if [ -z "$docfile" ]; then
+		echo "pkgdoc_lint: $dir has no package comment (want a doc block starting \"$lead ...\")"
+		fail=1
+		continue
+	fi
+
+	case "$dir" in
+	internal/*)
+		# The doc block is the run of comment lines ending at the
+		# package clause; it must cite DESIGN.md.
+		if ! awk -v lead="$lead" '
+			index($0, lead) == 1 { in_doc = 1 }
+			in_doc { print }
+			in_doc && /^package / { exit }
+		' "$docfile" | grep -q 'DESIGN\.md'; then
+			echo "pkgdoc_lint: $pkg: package comment does not cite its DESIGN.md section ($docfile)"
+			fail=1
+		fi
+		;;
+	esac
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "pkgdoc_lint: FAIL"
+	exit 1
+fi
+echo "pkgdoc_lint: OK ($(ls -d internal/*/ cmd/*/ | wc -l | tr -d ' ') packages)"
