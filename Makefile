@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-check fuzz docs
+.PHONY: check fmt vet build test race bench bench-json bench-check fuzz docs serve-smoke
 
 check: fmt vet build race docs
 
@@ -41,11 +41,26 @@ bench:
 bench-json:
 	$(GO) run ./cmd/mmtag-bench -benchjson BENCH_baseline.json -benchlabel baseline -benchreps 3
 
-# Gate the current tree against the committed baseline: any allocs/op
-# increase fails; ns/op gets a generous tolerance because the baseline
-# was likely recorded on different hardware.
+# Gate the current tree against the committed baseline. allocs/op gets
+# a 0.01% tolerance — enough to absorb GC-timing noise (automatic GC
+# flushes sync.Pool caches at schedule-dependent points), tight enough
+# to catch any per-iteration leak; ns/op gets a generous tolerance
+# because the baseline was likely recorded on different hardware.
 bench-check:
-	$(GO) run ./cmd/mmtag-bench -benchjson - -benchcompare BENCH_baseline.json -benchnstol 50
+	$(GO) run ./cmd/mmtag-bench -benchjson - -benchcompare BENCH_baseline.json -benchnstol 50 -benchallocstol 0.01
+
+# Local equivalent of CI's serve smoke: boot a run behind -serve,
+# scrape a quantile series and one SSE event, shut down via SIGINT.
+serve-smoke:
+	$(GO) build -race -o /tmp/mmtag-sim ./cmd/mmtag-sim
+	/tmp/mmtag-sim -aps 2 -tags 16 -duration 0.05 -serve 127.0.0.1:19856 > /dev/null & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://127.0.0.1:19856/healthz > /dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -sf http://127.0.0.1:19856/metrics | grep -q 'quantile="0.99"' && \
+	curl -s -m 5 http://127.0.0.1:19856/events | head -1 | grep -q '^data: '; \
+	rc=$$?; kill -INT $$pid; wait $$pid && [ $$rc -eq 0 ]
 
 # Short smoke runs of every fuzz target (Go only fuzzes one target per
 # invocation).

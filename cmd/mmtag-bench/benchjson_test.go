@@ -15,8 +15,8 @@ func benchReportFixture() *BenchReport {
 		Seed:      42,
 		Reps:      3,
 		Benchmarks: []BenchResult{
-			{Name: "E1", NsOp: 1000, AllocsOp: 10, BytesOp: 100, Rows: 5},
-			{Name: "E2", NsOp: 2000, AllocsOp: 0, BytesOp: 0, Rows: 3},
+			{Name: "E1", NsOp: 10_000_000, AllocsOp: 10, BytesOp: 100, Rows: 5},
+			{Name: "E2", NsOp: 20_000_000, AllocsOp: 0, BytesOp: 0, Rows: 3},
 		},
 	}
 }
@@ -24,8 +24,8 @@ func benchReportFixture() *BenchReport {
 func TestCompareBenchClean(t *testing.T) {
 	base := benchReportFixture()
 	cur := benchReportFixture()
-	cur.Benchmarks[0].NsOp = 1100 // +10%, inside a 15% tolerance
-	if problems := compareBench(cur, base, 15); len(problems) != 0 {
+	cur.Benchmarks[0].NsOp = 11_000_000 // +10%, inside a 15% tolerance
+	if problems := compareBench(cur, base, 15, 0); len(problems) != 0 {
 		t.Fatalf("unexpected problems: %v", problems)
 	}
 }
@@ -34,37 +34,59 @@ func TestCompareBenchRegressions(t *testing.T) {
 	base := benchReportFixture()
 
 	cur := benchReportFixture()
-	cur.Benchmarks[0].NsOp = 1200 // +20% > 15%
-	problems := compareBench(cur, base, 15)
+	cur.Benchmarks[0].NsOp = 12_000_000 // +20% > 15%
+	problems := compareBench(cur, base, 15, 0)
 	if len(problems) != 1 || !strings.Contains(problems[0], "ns/op regressed") {
 		t.Fatalf("ns regression not flagged: %v", problems)
 	}
 	// The same slowdown passes with a looser gate, and with the time
 	// check disabled entirely.
-	if problems := compareBench(cur, base, 25); len(problems) != 0 {
+	if problems := compareBench(cur, base, 25, 0); len(problems) != 0 {
 		t.Fatalf("25%% tolerance should admit +20%%: %v", problems)
 	}
-	if problems := compareBench(cur, base, 0); len(problems) != 0 {
+	if problems := compareBench(cur, base, 0, 0); len(problems) != 0 {
 		t.Fatalf("tolerance 0 must disable the time check: %v", problems)
+	}
+	// Sub-millisecond baselines skip the time check entirely: their
+	// minima are scheduler noise, not signal.
+	cur = benchReportFixture()
+	cur.Benchmarks[0].NsOp = 900_000 // below benchNsFloor
+	base2 := benchReportFixture()
+	base2.Benchmarks[0].NsOp = 300_000
+	if problems := compareBench(cur, base2, 15, 0); len(problems) != 0 {
+		t.Fatalf("sub-millisecond timing must not gate: %v", problems)
 	}
 
 	cur = benchReportFixture()
-	cur.Benchmarks[1].AllocsOp = 1 // any alloc increase fails
-	problems = compareBench(cur, base, 15)
+	cur.Benchmarks[1].AllocsOp = 1 // any alloc increase fails at tolerance 0
+	problems = compareBench(cur, base, 15, 0)
 	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed") {
 		t.Fatalf("alloc regression not flagged: %v", problems)
 	}
 
+	// A hair of alloc tolerance absorbs GC-timing noise but still
+	// catches real growth.
+	cur = benchReportFixture()
+	cur.Benchmarks[0].AllocsOp = 10 // baseline 10: unchanged passes
+	if problems := compareBench(cur, base, 15, 0.01); len(problems) != 0 {
+		t.Fatalf("exact counts must pass with tolerance: %v", problems)
+	}
+	cur.Benchmarks[0].AllocsOp = 11 // +10% >> 0.01%
+	problems = compareBench(cur, base, 15, 0.01)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed") {
+		t.Fatalf("alloc growth above tolerance not flagged: %v", problems)
+	}
+
 	cur = benchReportFixture()
 	cur.Benchmarks[0].Rows = 6
-	problems = compareBench(cur, base, 15)
+	problems = compareBench(cur, base, 15, 0)
 	if len(problems) != 1 || !strings.Contains(problems[0], "row count changed") {
 		t.Fatalf("row change not flagged: %v", problems)
 	}
 
 	cur = benchReportFixture()
 	cur.Benchmarks = cur.Benchmarks[:1] // E2 gone
-	problems = compareBench(cur, base, 15)
+	problems = compareBench(cur, base, 15, 0)
 	if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
 		t.Fatalf("missing benchmark not flagged: %v", problems)
 	}
@@ -73,7 +95,7 @@ func TestCompareBenchRegressions(t *testing.T) {
 	cur = benchReportFixture()
 	cur.Benchmarks[0].NsOp = 1
 	cur.Benchmarks[0].AllocsOp = 0
-	if problems := compareBench(cur, base, 15); len(problems) != 0 {
+	if problems := compareBench(cur, base, 15, 0); len(problems) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", problems)
 	}
 }
@@ -116,7 +138,7 @@ func TestLoadBenchReportErrors(t *testing.T) {
 // time tolerance — the full -benchjson/-benchcompare loop.
 func TestRunBenchJSONEndToEnd(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_t3.json")
-	if err := runBenchJSON("T3", 42, "test", path, 2, "", 0, io.Discard); err != nil {
+	if err := runBenchJSON("T3", 42, "test", path, 2, "", 0, 0, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	report, err := loadBenchReport(path)
@@ -137,7 +159,7 @@ func TestRunBenchJSONEndToEnd(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocs/op is nondeterministic under the race detector")
 	}
-	if err := runBenchJSON("T3", 42, "test", "", 2, path, 0, io.Discard); err != nil {
+	if err := runBenchJSON("T3", 42, "test", "", 2, path, 0, 0, io.Discard); err != nil {
 		t.Fatalf("self-comparison failed: %v", err)
 	}
 }

@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -48,7 +49,10 @@ import (
 
 	"mmtag/internal/eval"
 	"mmtag/internal/obs"
+	"mmtag/internal/obs/serve"
 	"mmtag/internal/par"
+	"mmtag/internal/profcost"
+	"mmtag/internal/trace"
 )
 
 func main() {
@@ -60,12 +64,15 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	out := flag.String("out", "", "directory to write per-experiment files (stdout if empty)")
 	metrics := flag.String("metrics", "", "write harness metrics (per-experiment wall time) to this file (- for stdout)")
-	pprofDir := flag.String("pprof", "", "write heap/allocs profiles and a GC summary to this directory")
+	pprofDir := flag.String("pprof", "", "write cpu/heap/allocs profiles and a GC summary to this directory")
+	serveAddr := flag.String("serve", "", "serve live observability HTTP endpoints (/metrics, /events, /debug/pprof) on this address")
+	runIDFlag := flag.String("run-id", "", "run identity label for trace events and the run_info metric (default: derived from the selection)")
 	benchJSON := flag.String("benchjson", "", "measure ns/op, allocs/op and bytes/op per experiment and write a JSON report to this path (- for stdout)")
 	benchLabel := flag.String("benchlabel", "local", "label recorded in the -benchjson report")
 	benchReps := flag.Int("benchreps", 3, "measurement repetitions per experiment for -benchjson (minimum is kept)")
 	benchCompare := flag.String("benchcompare", "", "baseline BENCH_*.json to gate against; exits 1 on any regression")
 	benchNsTol := flag.Float64("benchnstol", 15, "ns/op regression tolerance in percent for -benchcompare (0 disables the time check)")
+	benchAllocsTol := flag.Float64("benchallocstol", 0, "allocs/op regression tolerance in percent for -benchcompare (0 demands exact counts; CI uses 0.01 to absorb GC-timing noise)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -73,18 +80,11 @@ func main() {
 		os.Exit(1)
 	}
 	if *benchJSON != "" || *benchCompare != "" {
-		if err := runBenchJSON(*experiment, *seed, *benchLabel, *benchJSON, *benchReps, *benchCompare, *benchNsTol, os.Stdout); err != nil {
+		if err := runBenchJSON(*experiment, *seed, *benchLabel, *benchJSON, *benchReps, *benchCompare, *benchNsTol, *benchAllocsTol, os.Stdout); err != nil {
 			fail(err)
 		}
 		return
 	}
-	var reg *obs.Registry
-	if *metrics != "" {
-		reg = obs.NewRegistry()
-	}
-	pool := par.New(par.Config{Workers: *parallel, Registry: reg})
-	defer pool.Close()
-	x := eval.Exec{Pool: pool}
 	id := *experiment
 	if *faults && *aps {
 		fail(fmt.Errorf("-faults and -aps select disjoint subsets; pick one"))
@@ -101,10 +101,49 @@ func main() {
 		}
 		id = "net"
 	}
-	tables, err := runMetered(x, id, *seed, reg)
+	runID := *runIDFlag
+	if runID == "" {
+		runID = fmt.Sprintf("bench-%s-seed%d", strings.ToLower(id), *seed)
+	}
+	// The metered path is also what applies per-experiment pprof labels
+	// and publishes live progress, so -serve and -pprof force a registry.
+	var reg *obs.Registry
+	if *metrics != "" || *serveAddr != "" || *pprofDir != "" {
+		reg = obs.NewRegistry()
+		reg.GaugeVec("run_info", "Run identity; the value is always 1.", "run").
+			With(runID).Set(1)
+	}
+	var srv *serve.Server
+	if *serveAddr != "" {
+		var err error
+		srv, err = serve.Start(serve.Config{Addr: *serveAddr, Registry: reg, RunID: runID})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mmtag-bench: observability endpoint on %s\n", srv.URL())
+		defer srv.Close()
+	}
+	stopCPU := func() {}
+	if *pprofDir != "" {
+		var err error
+		stopCPU, err = startCPUProfile(*pprofDir)
+		if err != nil {
+			fail(err)
+		}
+	}
+	pool := par.New(par.Config{Workers: *parallel, Registry: reg})
+	defer pool.Close()
+	x := eval.Exec{Pool: pool}
+	var publish func(trace.Event)
+	if srv != nil {
+		publish = srv.Publish
+	}
+	suiteStart := time.Now()
+	tables, err := runMetered(x, id, *seed, reg, runID, publish)
 	if err != nil {
 		fail(err)
 	}
+	suiteWall := time.Since(suiteStart)
 	if *out == "" {
 		printTables(os.Stdout, tables, *csv)
 	} else {
@@ -123,16 +162,42 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
-	if reg != nil {
+	if *metrics != "" {
 		if err := writeMetrics(reg, *metrics, os.Stdout); err != nil {
 			fail(err)
 		}
 	}
 	if *pprofDir != "" {
+		stopCPU()
 		if err := writeProfiles(*pprofDir, os.Stdout); err != nil {
 			fail(err)
 		}
+		if err := writeCostTable(*pprofDir, suiteWall, os.Stdout); err != nil {
+			fail(err)
+		}
 	}
+	if srv != nil {
+		srv.WaitSignal(os.Stderr)
+	}
+}
+
+// writeCostTable decodes the captured CPU profile and prints the
+// per-experiment, per-function cost attribution table. A profile with
+// no samples (the suite finished between SIGPROF ticks) is reported,
+// not treated as an error.
+func writeCostTable(dir string, wall time.Duration, w io.Writer) error {
+	path := filepath.Join(dir, "cpu.pprof")
+	p, err := profcost.ParseFile(path)
+	if err != nil {
+		return fmt.Errorf("decode %s: %w", path, err)
+	}
+	if len(p.Samples) == 0 {
+		fmt.Fprintf(w, "\ncpu cost attribution: no samples in %s (suite wall %s was too short for the profiler)\n", path, wall)
+		return nil
+	}
+	fmt.Fprintf(w, "\ncpu cost attribution by experiment (%s):\n", path)
+	profcost.Render(w, profcost.Attribute(p, "experiment"), 10)
+	return nil
 }
 
 // printTables writes each table body followed by a blank separator
@@ -154,13 +219,21 @@ func printTables(w io.Writer, tables []*eval.Table, csv bool) {
 // eval.RunSuite does — fixed result slots keep the output order (and
 // bytes) schedule-independent, and the obs instruments are safe to
 // update from pool workers.
-func runMetered(x eval.Exec, id string, seed int64, reg *obs.Registry) ([]*eval.Table, error) {
+//
+// Each experiment executes under a pprof goroutine label
+// experiment=<ID>, which the worker pool propagates to the goroutines
+// running its trial grid, so a -pprof CPU capture attributes samples
+// per experiment (see internal/profcost). When publish is non-nil a
+// progress span is streamed per finished experiment.
+func runMetered(x eval.Exec, id string, seed int64, reg *obs.Registry, runID string, publish func(trace.Event)) ([]*eval.Table, error) {
 	if reg == nil {
 		return run(x, id, seed)
 	}
-	seconds := reg.HistogramVec("bench_experiment_seconds",
-		"Wall-clock cost of regenerating each evaluation table.",
-		obs.ExponentialBuckets(1e-4, 4, 12), "experiment")
+	seconds := reg.LogHistogramVec("bench_experiment_seconds",
+		"Wall-clock cost of regenerating each evaluation table (log2 buckets).",
+		"experiment")
+	wallQ := reg.Quantile("bench_experiment_wall_seconds",
+		"Per-experiment wall time (reservoir-sampled p50/p90/p99).")
 	rows := reg.CounterVec("bench_rows_total",
 		"Table rows produced per experiment.", "experiment")
 	total := reg.Counter("bench_experiments_total",
@@ -177,14 +250,31 @@ func runMetered(x eval.Exec, id string, seed int64, reg *obs.Registry) ([]*eval.
 	err := x.Pool.Map(x.Ctx, len(ids), func(i int) error {
 		eid := ids[i]
 		start := time.Now()
-		tables, err := eval.RunExperiment(x, eid, nil, seed)
+		var tables []*eval.Table
+		var err error
+		pprof.Do(contextOrBackground(x.Ctx), pprof.Labels("experiment", eid), func(ctx context.Context) {
+			xe := x
+			xe.Ctx = ctx
+			tables, err = eval.RunExperiment(xe, eid, nil, seed)
+		})
 		if err != nil {
 			return err
 		}
-		seconds.With(eid).Observe(time.Since(start).Seconds())
+		wall := time.Since(start)
+		seconds.With(eid).Observe(wall.Seconds())
+		wallQ.Observe(wall.Seconds())
 		total.Inc()
 		for _, t := range tables {
 			rows.With(eid).Add(float64(len(t.Rows)))
+		}
+		if publish != nil {
+			publish(trace.Event{
+				Kind:   trace.KindSpan,
+				Span:   "experiment",
+				Detail: eid,
+				WallNs: wall.Nanoseconds(),
+				Run:    runID,
+			})
 		}
 		results[i] = tables
 		return nil
@@ -197,6 +287,14 @@ func runMetered(x eval.Exec, id string, seed int64, reg *obs.Registry) ([]*eval.
 		out = append(out, tables...)
 	}
 	return out, nil
+}
+
+// contextOrBackground papers over eval.Exec's optional context.
+func contextOrBackground(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return context.Background()
 }
 
 // writeMetrics renders the registry snapshot to path ("-" = w), as JSON
@@ -225,7 +323,29 @@ func writeMetrics(reg *obs.Registry, path string, w io.Writer) error {
 	return err
 }
 
+// startCPUProfile begins CPU sampling into dir/cpu.pprof and returns
+// the stop function that finishes the profile and closes the file.
+func startCPUProfile(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
 // writeProfiles captures heap and allocs profiles plus a GC summary.
+// The CPU profile is already on disk by the time this runs (see
+// startCPUProfile), so the summary line names all three.
 func writeProfiles(dir string, w io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -253,7 +373,7 @@ func writeProfiles(dir string, w io.Writer) error {
 	fmt.Fprintf(w, "runtime: %d GC cycles, %.3f ms total pause, %.2f MiB heap, %.2f MiB total alloc\n",
 		ms.NumGC, float64(ms.PauseTotalNs)/1e6,
 		float64(ms.HeapAlloc)/(1<<20), float64(ms.TotalAlloc)/(1<<20))
-	fmt.Fprintf(w, "wrote heap.pprof and allocs.pprof to %s\n", dir)
+	fmt.Fprintf(w, "wrote cpu.pprof, heap.pprof and allocs.pprof to %s\n", dir)
 	return nil
 }
 

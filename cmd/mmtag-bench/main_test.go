@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
 	"mmtag/internal/eval"
 	"mmtag/internal/obs"
 	"mmtag/internal/par"
@@ -51,7 +53,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunMeteredRecordsHarnessMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
-	tables, err := runMetered(eval.Exec{}, "E2", 1, reg)
+	tables, err := runMetered(eval.Exec{}, "E2", 1, reg, "bench-e2-seed1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestRunMeteredParallelMatchesPlainRun(t *testing.T) {
 	reg := obs.NewRegistry()
 	pool := par.New(par.Config{Workers: 4, Registry: reg})
 	defer pool.Close()
-	metered, err := runMetered(eval.Exec{Pool: pool}, "all", seed, reg)
+	metered, err := runMetered(eval.Exec{Pool: pool}, "all", seed, reg, "bench-all-seed42", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,5 +137,33 @@ func TestRunMeteredParallelMatchesPlainRun(t *testing.T) {
 		if metered[i].Render() != plain[i].Render() {
 			t.Errorf("table %d (%s) diverges under metered parallel run", i, plain[i].ID)
 		}
+	}
+}
+
+// TestCPUProfileAndCostTable exercises the -pprof CPU path end to end:
+// capture around a labeled experiment run, then decode the profile into
+// the per-experiment cost table. A run short enough to dodge every
+// SIGPROF tick still must produce the (empty-profile) report.
+func TestCPUProfileAndCostTable(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := startCPUProfile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if _, err := runMetered(eval.Exec{}, "E3", 42, reg, "bench-e3-seed42", nil); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	stop()
+	if _, err := os.Stat(filepath.Join(dir, "cpu.pprof")); err != nil {
+		t.Fatalf("missing cpu.pprof: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeCostTable(dir, time.Second, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cpu cost attribution") {
+		t.Errorf("cost table output = %q", buf.String())
 	}
 }

@@ -26,22 +26,41 @@ func runDeployment(o options) error {
 	if o.sweep > 0 {
 		return fmt.Errorf("-aps cannot be combined with -sweep (deployment runs are single-shot)")
 	}
-	if o.pprofDir != "" {
-		return fmt.Errorf("-aps cannot be combined with -pprof")
-	}
 	plan, err := fault.ParseSpec(o.faults)
 	if err != nil {
 		return err
 	}
-	var rec *trace.Recorder
-	if o.trace != "" {
-		rec = trace.NewRecorder(100_000)
-	}
+	runID := o.resolvedRunID()
 	var reg *obs.Registry
 	var handle *obs.Handle
-	if o.metrics != "" {
+	if o.metrics != "" || o.serve != "" {
 		reg = obs.NewRegistry()
 		handle = obs.NewHandle(reg, nil)
+		reg.GaugeVec("run_info", "Run identity; the value is always 1.", "run").
+			With(runID).Set(1)
+	}
+	srv, err := startServe(o, reg, runID)
+	if err != nil {
+		return err
+	}
+	var rec *trace.Recorder
+	if o.trace != "" || srv != nil {
+		rec = trace.NewRecorder(100_000)
+		rec.SetRun(runID)
+		if srv != nil {
+			rec.Tee(srv.Publish)
+		}
+		if reg != nil {
+			rec.SetDropHook(reg.Counter("trace_dropped_events_total",
+				"Trace events discarded at the recorder bound.").Inc)
+		}
+	}
+	stopCPU := func() {}
+	if o.pprofDir != "" {
+		stopCPU, err = startCPUProfile(o.pprofDir)
+		if err != nil {
+			return err
+		}
 	}
 	pool := par.New(par.Config{Workers: o.parallel, Registry: reg})
 	defer pool.Close()
@@ -57,6 +76,7 @@ func runDeployment(o options) error {
 		Pool:       pool,
 		Trace:      rec,
 		Obs:        handle,
+		CostSpans:  srv != nil,
 	})
 	if err != nil {
 		return err
@@ -106,6 +126,13 @@ func runDeployment(o options) error {
 			return err
 		}
 	}
+	if o.pprofDir != "" {
+		stopCPU()
+		if err := writeProfiles(o.pprofDir, o.out); err != nil {
+			return err
+		}
+	}
+	finishServe(o, srv)
 	return nil
 }
 

@@ -87,14 +87,28 @@ func TestDeploymentRejectsIncompatibleFlags(t *testing.T) {
 		t.Error("-aps with -sweep must error")
 	}
 	o = deployOptions()
-	o.pprofDir = "profiles"
-	if err := run(o); err == nil {
-		t.Error("-aps with -pprof must error")
-	}
-	o = deployOptions()
 	o.aps = 0
 	if err := run(o); err == nil {
 		t.Error("-aps 0 must error")
+	}
+}
+
+// TestDeploymentPprofCapture checks the -aps path captures cpu, heap
+// and allocs profiles like the single-AP path does.
+func TestDeploymentPprofCapture(t *testing.T) {
+	o := deployOptions()
+	o.pprofDir = filepath.Join(t.TempDir(), "profiles")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "allocs.pprof"} {
+		st, err := os.Stat(filepath.Join(o.pprofDir, name))
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", name, err)
+		}
+		if name != "cpu.pprof" && st.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
 	}
 }
 

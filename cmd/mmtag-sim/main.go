@@ -46,6 +46,8 @@ import (
 	"time"
 
 	"mmtag"
+	"mmtag/internal/obs"
+	"mmtag/internal/obs/serve"
 )
 
 // options collects the CLI parameters run needs.
@@ -66,7 +68,58 @@ type options struct {
 	metrics       string // metrics path ("" = off, "-" = stdout)
 	metricsFormat string // auto, text or json
 	pprofDir      string // profile directory ("" = off)
+	serve         string // observability server address ("" = off)
+	runID         string // run identity ("" = derived from the config)
 	out           io.Writer
+
+	// Test hooks: serveReady observes the started server, serveWait
+	// replaces the default block-until-SIGINT tail.
+	serveReady func(*serve.Server)
+	serveWait  func(*serve.Server)
+}
+
+// resolvedRunID derives the run identity stamped on trace events and
+// the run_info metric when -run-id is not given. It is a pure function
+// of the scenario, so re-runs of the same configuration correlate.
+func (o options) resolvedRunID() string {
+	if o.runID != "" {
+		return o.runID
+	}
+	if o.aps > 1 {
+		return fmt.Sprintf("sim-aps%d-tags%d-seed%d", o.aps, o.tags, o.seed)
+	}
+	return fmt.Sprintf("sim-tags%d-seed%d", o.tags, o.seed)
+}
+
+// startServe starts the live observability server when -serve is set,
+// returning nil otherwise.
+func startServe(o options, reg *obs.Registry, runID string) (*serve.Server, error) {
+	if o.serve == "" {
+		return nil, nil
+	}
+	srv, err := serve.Start(serve.Config{Addr: o.serve, Registry: reg, RunID: runID})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "mmtag-sim: observability endpoint on %s\n", srv.URL())
+	if o.serveReady != nil {
+		o.serveReady(srv)
+	}
+	return srv, nil
+}
+
+// finishServe keeps the endpoint alive after the run (until SIGINT)
+// and shuts it down cleanly.
+func finishServe(o options, srv *serve.Server) {
+	if srv == nil {
+		return
+	}
+	if o.serveWait != nil {
+		o.serveWait(srv)
+		srv.Close()
+		return
+	}
+	srv.WaitSignal(os.Stderr)
 }
 
 func main() {
@@ -87,7 +140,9 @@ func main() {
 	flag.StringVar(&o.trace, "trace", "", "write the event/span log to this file (JSONL when it ends in .jsonl/.json)")
 	flag.StringVar(&o.metrics, "metrics", "", "write the run's metrics snapshot to this file (- for stdout)")
 	flag.StringVar(&o.metricsFormat, "metrics-format", "auto", "metrics format: auto, text (Prometheus) or json")
-	flag.StringVar(&o.pprofDir, "pprof", "", "write heap/allocs profiles and a GC summary to this directory")
+	flag.StringVar(&o.pprofDir, "pprof", "", "write cpu/heap/allocs profiles and a GC summary to this directory")
+	flag.StringVar(&o.serve, "serve", "", "serve live observability HTTP endpoints (/metrics, /events, /debug/pprof) on this address")
+	flag.StringVar(&o.runID, "run-id", "", "run identity label for trace events and the run_info metric (default: derived from the scenario)")
 	flag.Parse()
 	o.out = os.Stdout
 
@@ -141,12 +196,27 @@ func run(o options) error {
 			lr.TagID, lr.SNRdB, lr.EchoPowerDBm, lr.BestRate, lr.GoodputMbps)
 	}
 
+	runID := o.resolvedRunID()
+	var reg *obs.Registry
+	if o.serve != "" {
+		reg = obs.NewRegistry()
+	}
+	srv, err := startServe(o, reg, runID)
+	if err != nil {
+		return err
+	}
+
 	runCfg := mmtag.RunConfig{
 		Duration:       o.duration,
 		SDM:            o.sdm,
 		Seed:           o.seed,
 		Faults:         o.faults,
 		CollectMetrics: o.metrics != "",
+		Metrics:        reg,
+		RunID:          runID,
+	}
+	if srv != nil {
+		runCfg.EventSink = srv.Publish
 	}
 	var traceFile *os.File
 	if o.trace != "" {
@@ -159,6 +229,14 @@ func run(o options) error {
 			runCfg.TraceJSONL = traceFile
 		} else {
 			runCfg.Trace = traceFile
+		}
+	}
+
+	stopCPU := func() {}
+	if o.pprofDir != "" {
+		stopCPU, err = startCPUProfile(o.pprofDir)
+		if err != nil {
+			return err
 		}
 	}
 
@@ -223,10 +301,12 @@ func run(o options) error {
 		}
 	}
 	if o.pprofDir != "" {
+		stopCPU()
 		if err := writeProfiles(o.pprofDir, o.out); err != nil {
 			return err
 		}
 	}
+	finishServe(o, srv)
 	return nil
 }
 
@@ -259,8 +339,8 @@ func buildSystem(o options) (*mmtag.System, error) {
 // report is byte-identical at any worker count, so the flag only buys
 // wall-clock time.
 func runSweep(o options) error {
-	if o.trace != "" || o.metrics != "" || o.pprofDir != "" {
-		return fmt.Errorf("-sweep cannot be combined with -trace, -metrics or -pprof (single-run sinks)")
+	if o.trace != "" || o.metrics != "" || o.pprofDir != "" || o.serve != "" {
+		return fmt.Errorf("-sweep cannot be combined with -trace, -metrics, -pprof or -serve (single-run sinks)")
 	}
 	fmt.Fprintf(o.out, "mmtag-sim: sweep of %d replicates (root seed %d): %d tags, duration %.3gs, modulation %s, sdm=%v\n",
 		o.sweep, o.seed, o.tags, o.duration, o.modulation, o.sdm)
@@ -331,7 +411,29 @@ func writeMetrics(snap *mmtag.MetricsSnapshot, path, format string, w io.Writer)
 	return err
 }
 
+// startCPUProfile begins CPU sampling into dir/cpu.pprof and returns
+// the stop function that finishes the profile and closes the file.
+func startCPUProfile(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
 // writeProfiles captures heap and allocs profiles plus a GC summary.
+// The CPU profile is already on disk by the time this runs (see
+// startCPUProfile), so the summary line names all three.
 func writeProfiles(dir string, w io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -359,7 +461,7 @@ func writeProfiles(dir string, w io.Writer) error {
 	fmt.Fprintf(w, "\nruntime: %d GC cycles, %.3f ms total pause, %.2f MiB heap, %.2f MiB total alloc\n",
 		ms.NumGC, float64(ms.PauseTotalNs)/1e6,
 		float64(ms.HeapAlloc)/(1<<20), float64(ms.TotalAlloc)/(1<<20))
-	fmt.Fprintf(w, "wrote heap.pprof and allocs.pprof to %s\n", dir)
+	fmt.Fprintf(w, "wrote cpu.pprof, heap.pprof and allocs.pprof to %s\n", dir)
 	return nil
 }
 

@@ -211,12 +211,16 @@ func TestRunPprofCapture(t *testing.T) {
 	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"heap.pprof", "allocs.pprof"} {
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "allocs.pprof"} {
 		st, err := os.Stat(filepath.Join(o.pprofDir, name))
 		if err != nil {
 			t.Fatalf("missing profile %s: %v", name, err)
 		}
-		if st.Size() == 0 {
+		// A short run may finish between SIGPROF ticks, leaving a
+		// valid but sample-free (header-only, possibly empty after
+		// gzip buffering) cpu.pprof; only the heap profiles are
+		// guaranteed bytes.
+		if name != "cpu.pprof" && st.Size() == 0 {
 			t.Errorf("profile %s is empty", name)
 		}
 	}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mmtag/internal/obs/serve"
+)
+
+// scrape GETs url and returns the body, failing the test on transport
+// or status errors.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// firstSSEEvent connects to the /events stream and returns the first
+// data: payload (served from the replay ring when the run already
+// finished).
+func firstSSEEvent(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			return strings.TrimPrefix(line, "data: ")
+		}
+	}
+	t.Fatalf("no data: line before stream end (%v)", sc.Err())
+	return ""
+}
+
+// checkServeEndpoints drives /healthz, /metrics and /events against a
+// started server after a run completed.
+func checkServeEndpoints(t *testing.T, srv *serve.Server, wantRun string) {
+	t.Helper()
+	if got := scrape(t, srv.URL()+"/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("healthz = %q, want ok", got)
+	}
+	metrics := scrape(t, srv.URL()+"/metrics")
+	for _, want := range []string{
+		`quantile="0.99"`,
+		`run_info{run="` + wantRun + `"} 1`,
+		"serve_metrics_scrapes_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s:\n%.600s", want, metrics)
+		}
+	}
+	ev := firstSSEEvent(t, srv.URL()+"/events")
+	if !strings.Contains(ev, `"kind"`) {
+		t.Errorf("SSE payload is not a trace event: %q", ev)
+	}
+	if !strings.Contains(ev, `"run":"`+wantRun+`"`) {
+		t.Errorf("SSE payload missing run ID %q: %q", wantRun, ev)
+	}
+}
+
+// TestServeSingleRun boots the single-AP path with -serve, then — via
+// the serveWait hook, before shutdown — scrapes Prometheus metrics
+// (quantile series included) and replays a live trace event over SSE.
+func TestServeSingleRun(t *testing.T) {
+	o := baseOptions()
+	o.serve = "127.0.0.1:0"
+	var srv *serve.Server
+	o.serveReady = func(s *serve.Server) { srv = s }
+	o.serveWait = func(s *serve.Server) { checkServeEndpoints(t, s, "sim-tags4-seed1") }
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil {
+		t.Fatal("serveReady hook never fired")
+	}
+	// After run returns, finishServe has closed the listener.
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Error("server still reachable after shutdown")
+	}
+}
+
+// TestServeDeployment covers the -aps path: the deployment wires the
+// recorder into the server (cost spans on), so SSE replays cell-epoch
+// spans and /metrics carries the net-layer quantile summaries.
+func TestServeDeployment(t *testing.T) {
+	o := deployOptions()
+	o.aps = 2
+	o.tags = 12
+	o.duration = 0.04
+	o.serve = "127.0.0.1:0"
+	o.serveWait = func(s *serve.Server) {
+		checkServeEndpoints(t, s, "sim-aps2-tags12-seed42")
+		metrics := scrape(t, s.URL()+"/metrics")
+		if !strings.Contains(metrics, "net_handoff_latency_seconds") {
+			t.Errorf("/metrics missing net-layer summary:\n%.600s", metrics)
+		}
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunIDOverride checks -run-id wins over the derived identity.
+func TestRunIDOverride(t *testing.T) {
+	o := baseOptions()
+	o.runID = "custom-run"
+	if got := o.resolvedRunID(); got != "custom-run" {
+		t.Fatalf("resolvedRunID = %q, want custom-run", got)
+	}
+	o.runID = ""
+	if got := o.resolvedRunID(); got != "sim-tags4-seed1" {
+		t.Fatalf("resolvedRunID = %q, want sim-tags4-seed1", got)
+	}
+}

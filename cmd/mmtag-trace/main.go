@@ -9,6 +9,13 @@
 //	mmtag-trace -mode timeline -tag 3 run.jsonl
 //	mmtag-trace -mode spans run.jsonl
 //	mmtag-trace -mode hist run.jsonl
+//	mmtag-trace -mode cost run.jsonl         # per-run cost attribution
+//
+// -mode cost groups span events by their run-ID label (stamped by the
+// producer's -run-id flag or derived from its scenario), then breaks
+// wall-clock cost down per span kind and per cell (the ap=N detail on
+// deployment cell-epoch spans), with a critical-path summary over the
+// top-level spans.
 //
 // Reads stdin when the path is "-" or absent.
 package main
@@ -27,7 +34,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "summary", "summary, timeline, spans or hist")
+	mode := flag.String("mode", "summary", "summary, timeline, spans, hist or cost")
 	tag := flag.Int("tag", 0, "restrict timeline output to one tag ID (0 = all)")
 	flag.Parse()
 
@@ -72,8 +79,10 @@ func analyze(events []trace.Event, mode string, tag uint8, w io.Writer) error {
 		spansReport(events, w)
 	case "hist":
 		histReport(events, w)
+	case "cost":
+		costReport(events, w)
 	default:
-		return fmt.Errorf("unknown mode %q (want summary, timeline, spans or hist)", mode)
+		return fmt.Errorf("unknown mode %q (want summary, timeline, spans, hist or cost)", mode)
 	}
 	return nil
 }
@@ -255,6 +264,135 @@ func spansReport(events []trace.Event, w io.Writer) {
 			a.name, a.count, a.wallTotal, a.wallTotal/time.Duration(a.count),
 			a.wallMin, a.wallMax, a.simTotal)
 	}
+}
+
+// costReport prints the per-run cost attribution: wall time per span
+// kind, wall time per cell (parsed from the ap=N span detail written by
+// the deployment layer), and a critical-path summary over the top-level
+// (depth 0) spans in time order.
+func costReport(events []trace.Event, w io.Writer) {
+	byRun := make(map[string][]trace.Event)
+	for _, e := range events {
+		if e.Kind == trace.KindSpan {
+			byRun[e.Run] = append(byRun[e.Run], e)
+		}
+	}
+	if len(byRun) == 0 {
+		fmt.Fprintln(w, "no span events (run the producer with metrics/tracing on)")
+		return
+	}
+	if d := dropped(events); d > 0 {
+		fmt.Fprintf(w, "WARNING: capture incomplete, %d events dropped at the recorder bound\n\n", d)
+	}
+	runs := make([]string, 0, len(byRun))
+	for r := range byRun {
+		runs = append(runs, r)
+	}
+	sort.Strings(runs)
+	for i, r := range runs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		label := r
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		runCost(byRun[r], label, w)
+	}
+}
+
+// runCost prints one run's span-kind table, per-cell breakdown and
+// critical path.
+func runCost(spans []trace.Event, label string, w io.Writer) {
+	var wallTotal time.Duration
+	for _, e := range spans {
+		wallTotal += time.Duration(e.WallNs)
+	}
+	fmt.Fprintf(w, "run %s: %d spans, %s total wall\n", label, len(spans), wallTotal)
+
+	fmt.Fprintf(w, "\n  %-16s %7s %12s %12s %7s %12s\n",
+		"span", "count", "wall total", "wall mean", "wall %", "sim total")
+	for _, a := range aggregate(spans) {
+		pct := 0.0
+		if wallTotal > 0 {
+			pct = 100 * float64(a.wallTotal) / float64(wallTotal)
+		}
+		fmt.Fprintf(w, "  %-16s %7d %12s %12s %6.1f%% %11.6fs\n",
+			a.name, a.count, a.wallTotal, a.wallTotal/time.Duration(a.count),
+			pct, a.simTotal)
+	}
+
+	type cellCost struct {
+		spans int
+		wall  time.Duration
+		sim   float64
+	}
+	cells := make(map[int]*cellCost)
+	for _, e := range spans {
+		ap, ok := detailAP(e.Detail)
+		if !ok {
+			continue
+		}
+		c := cells[ap]
+		if c == nil {
+			c = &cellCost{}
+			cells[ap] = c
+		}
+		c.spans++
+		c.wall += time.Duration(e.WallNs)
+		c.sim += e.Dur
+	}
+	if len(cells) > 0 {
+		ids := make([]int, 0, len(cells))
+		var cellWall time.Duration
+		for id, c := range cells {
+			ids = append(ids, id)
+			cellWall += c.wall
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(w, "\n  %-8s %7s %12s %7s %12s\n", "cell", "spans", "wall total", "wall %", "sim total")
+		for _, id := range ids {
+			c := cells[id]
+			pct := 0.0
+			if cellWall > 0 {
+				pct = 100 * float64(c.wall) / float64(cellWall)
+			}
+			fmt.Fprintf(w, "  ap %-5d %7d %12s %6.1f%% %11.6fs\n",
+				id, c.spans, c.wall, pct, c.sim)
+		}
+	}
+
+	var path []trace.Event
+	for _, e := range spans {
+		if e.Depth == 0 {
+			path = append(path, e)
+		}
+	}
+	sort.SliceStable(path, func(i, j int) bool { return path[i].T < path[j].T })
+	if len(path) > 0 {
+		fmt.Fprintln(w, "\n  critical path (top-level spans, time order):")
+		var cum time.Duration
+		for _, e := range path {
+			cum += time.Duration(e.WallNs)
+			name := e.Span
+			if e.Detail != "" {
+				name += " " + e.Detail
+			}
+			fmt.Fprintf(w, "    %10.6fs  %-28s wall %-12s cum %s\n",
+				e.T, name, time.Duration(e.WallNs), cum)
+		}
+	}
+}
+
+// detailAP extracts N from an "ap=N ..." span detail annotation.
+func detailAP(detail string) (int, bool) {
+	for _, tok := range strings.Fields(detail) {
+		var ap int
+		if n, err := fmt.Sscanf(tok, "ap=%d", &ap); err == nil && n == 1 {
+			return ap, true
+		}
+	}
+	return 0, false
 }
 
 // histBounds are the wall-duration bucket upper bounds for histReport.

@@ -185,3 +185,76 @@ func TestEndToEndFromSimRun(t *testing.T) {
 		}
 	}
 }
+
+// costEvents builds a two-run span log with per-cell deployment spans.
+func costEvents() []trace.Event {
+	return []trace.Event{
+		{T: 0, Kind: trace.KindSpan, Span: "discovery", Dur: 0.01, WallNs: 2_000_000, Run: "sim-a"},
+		{T: 0.01, Kind: trace.KindSpan, Span: "cell-epoch", Detail: "ap=0 epoch=0", Dur: 0.02, WallNs: 5_000_000, Run: "sim-a"},
+		{T: 0.01, Kind: trace.KindSpan, Span: "cell-epoch", Detail: "ap=1 epoch=0", Dur: 0.02, WallNs: 3_000_000, Run: "sim-a"},
+		{T: 0.03, Kind: trace.KindSpan, Span: "cell-epoch", Detail: "ap=0 epoch=1", Dur: 0.02, WallNs: 4_000_000, Run: "sim-a"},
+		{T: 0, Kind: trace.KindSpan, Span: "discovery", Dur: 0.01, WallNs: 1_000_000, Run: "sim-b"},
+		{T: 0.05, Kind: trace.KindPoll, Tag: 1, OK: true, Run: "sim-a"},
+		{T: 0.06, Kind: trace.KindMeta, Detail: "recorder bound reached; events dropped", Dropped: 4},
+	}
+}
+
+func TestCostMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analyze(costEvents(), "cost", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"4 events dropped",
+		"run sim-a: 4 spans, 14ms total wall",
+		"run sim-b: 1 spans, 1ms total wall",
+		"cell-epoch",
+		"ap 0",
+		"ap 1",
+		"critical path",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cost report missing %q:\n%s", want, out)
+		}
+	}
+	// ap 0 carries 9ms of the 12ms cell wall: 75%.
+	if !strings.Contains(out, "75.0%") {
+		t.Errorf("cost report missing ap 0 share:\n%s", out)
+	}
+	// sim-b has no ap=N details, so no cell table for it.
+	simB := out[strings.Index(out, "run sim-b"):]
+	if strings.Contains(simB, "cell") {
+		t.Errorf("sim-b must not have a cell table:\n%s", simB)
+	}
+}
+
+func TestCostModeNoSpans(t *testing.T) {
+	var buf bytes.Buffer
+	events := []trace.Event{{T: 0, Kind: trace.KindPoll, Tag: 1, OK: true}}
+	if err := analyze(events, "cost", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no span events") {
+		t.Errorf("empty cost report = %q", buf.String())
+	}
+}
+
+func TestDetailAP(t *testing.T) {
+	cases := []struct {
+		detail string
+		ap     int
+		ok     bool
+	}{
+		{"ap=3 epoch=7", 3, true},
+		{"epoch=7 ap=12", 12, true},
+		{"tag=4", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		ap, ok := detailAP(c.detail)
+		if ap != c.ap || ok != c.ok {
+			t.Errorf("detailAP(%q) = %d,%v want %d,%v", c.detail, ap, ok, c.ap, c.ok)
+		}
+	}
+}

@@ -153,7 +153,7 @@ type stationMetrics struct {
 	collisions *obs.Counter    // mac_collisions_total
 	discovered *obs.Counter    // mac_discovered_total
 	airtime    *obs.Counter    // mac_airtime_seconds_total
-	pollAir    *obs.Histogram  // mac_poll_airtime_seconds
+	pollAir    *obs.Quantile   // mac_poll_airtime_seconds (summary)
 	snr        *obs.HistogramVec
 
 	health      *obs.CounterVec // mac_health_transitions_total{tag,to}
@@ -185,9 +185,8 @@ func newStationMetrics(reg *obs.Registry) *stationMetrics {
 			"Tags newly discovered."),
 		airtime: reg.Counter("mac_airtime_seconds_total",
 			"Uplink air time accumulated across polls."),
-		pollAir: reg.Histogram("mac_poll_airtime_seconds",
-			"Per-poll uplink air time including retransmissions.",
-			obs.ExponentialBuckets(1e-6, 4, 10)),
+		pollAir: reg.Quantile("mac_poll_airtime_seconds",
+			"Per-poll uplink air time including retransmissions (reservoir-sampled p50/p90/p99)."),
 		snr: reg.HistogramVec("phy_snr_db",
 			"Uplink SNR measured at the selected rate, by tag (dB).",
 			obs.LinearBuckets(-10, 5, 14), "tag"),

@@ -103,6 +103,12 @@ type Config struct {
 	// Cell-level runs are not traced (their interleaving would depend
 	// on the schedule); deployment events are emitted serially.
 	Trace *trace.Recorder
+	// CostSpans additionally emits one "cell-epoch" span event per
+	// (epoch, cell) carrying the cell run's measured wall-clock cost.
+	// Event order stays schedule-independent, but the wall values are
+	// measurements — runs are no longer byte-identical, so this is
+	// opt-in and off for golden comparisons.
+	CostSpans bool
 	// Obs, when non-nil, meters the deployment (handoffs, latency
 	// histogram, duplicate polls, per-AP goodput). Nil costs nothing.
 	Obs *obs.Handle
@@ -314,10 +320,11 @@ type netMetrics struct {
 	aps        *obs.Gauge        // net_aps
 	tags       *obs.Gauge        // net_tags
 	handoffs   *obs.CounterVec   // net_handoffs_total{reason}
-	latency    *obs.Histogram    // net_handoff_latency_seconds
+	latency    *obs.Quantile     // net_handoff_latency_seconds (summary)
 	dupPolls   *obs.Counter      // net_duplicate_polls_total
 	cellGoodpt *obs.GaugeVec     // net_cell_goodput_bps{ap}
 	assoc      *obs.HistogramVec // net_association_snr_db{ap}
+	epochWall  *obs.Quantile     // net_epoch_wall_seconds (summary)
 }
 
 func newNetMetrics(reg *obs.Registry) *netMetrics {
@@ -329,8 +336,8 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 		tags: reg.Gauge("net_tags", "Tags placed in the deployment."),
 		handoffs: reg.CounterVec("net_handoffs_total",
 			"Inter-AP handoffs, by trigger.", "reason"),
-		latency: reg.Histogram("net_handoff_latency_seconds",
-			"Inter-AP handoff latency.", obs.LinearBuckets(0, 5e-4, 12)),
+		latency: reg.Quantile("net_handoff_latency_seconds",
+			"Inter-AP handoff latency (reservoir-sampled p50/p90/p99)."),
 		dupPolls: reg.Counter("net_duplicate_polls_total",
 			"Polls duplicated across APs during handoffs (stale-roster window)."),
 		cellGoodpt: reg.GaugeVec("net_cell_goodput_bps",
@@ -338,5 +345,7 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 		assoc: reg.HistogramVec("net_association_snr_db",
 			"Estimated SNR at association time, by serving AP (dB).",
 			obs.LinearBuckets(-10, 5, 14), "ap"),
+		epochWall: reg.Quantile("net_epoch_wall_seconds",
+			"Wall-clock cost of one cell-epoch inventory run (reservoir-sampled p50/p90/p99)."),
 	}
 }

@@ -3,6 +3,7 @@ package net
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mmtag/internal/ap"
 	"mmtag/internal/geom"
@@ -11,6 +12,7 @@ import (
 	"mmtag/internal/rfmath"
 	"mmtag/internal/sim"
 	"mmtag/internal/tag"
+	"mmtag/internal/trace"
 	"mmtag/internal/vanatta"
 )
 
@@ -132,13 +134,34 @@ func (d *Deployment) Run() (*Report, error) {
 			rosters[t.serving] = append(rosters[t.serving], t)
 		}
 		cellReps := make([]*sim.InventoryReport, cfg.APs)
+		cellWall := make([]time.Duration, cfg.APs)
 		epoch := e
 		if err := cfg.Pool.Map(nil, cfg.APs, func(c int) error {
+			start := time.Now()
 			var err error
 			cellReps[c], err = d.runCell(epoch, c, epochDur, rosters)
+			cellWall[c] = time.Since(start)
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("net: epoch %d: %w", e, err)
+		}
+		// Per-cell cost accounting, emitted serially in AP index order
+		// so the trace stays schedule-independent (the wall values vary
+		// run to run; the event sequence does not).
+		for c := 0; c < cfg.APs; c++ {
+			if d.m != nil {
+				d.m.epochWall.Observe(cellWall[c].Seconds())
+			}
+			if tr := cfg.Trace; tr != nil && cfg.CostSpans {
+				tr.Emit(trace.Event{
+					T:      float64(e) * epochDur,
+					Kind:   trace.KindSpan,
+					Span:   "cell-epoch",
+					Detail: fmt.Sprintf("ap=%d epoch=%d", c, e),
+					Dur:    epochDur,
+					WallNs: cellWall[c].Nanoseconds(),
+				})
+			}
 		}
 		// Fold cell results serially, in AP index order.
 		for c := 0; c < cfg.APs; c++ {

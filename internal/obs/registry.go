@@ -31,6 +31,9 @@ const (
 	KindCounter   MetricKind = "counter"
 	KindGauge     MetricKind = "gauge"
 	KindHistogram MetricKind = "histogram"
+	// KindSummary is a reservoir-sampled quantile estimator (see
+	// Quantile in stream.go), rendered as a Prometheus summary.
+	KindSummary MetricKind = "summary"
 )
 
 // Registry is a concurrent collection of metric families. The zero value
@@ -62,10 +65,12 @@ type metric struct {
 	// bits holds the float64 value of counters and gauges.
 	bits atomic.Uint64
 	// Histogram state: per-bucket counts (one extra for +Inf), total
-	// count and sum-of-observations bits.
+	// count and sum-of-observations bits. Summaries reuse count and
+	// sumBits alongside the reservoir.
 	counts  []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	res     *reservoir // summary sample state; nil otherwise
 }
 
 // NewRegistry returns an empty registry.
@@ -124,8 +129,11 @@ func (f *family) child(values []string) *metric {
 		return m
 	}
 	m = &metric{fam: f, labelValues: append([]string(nil), values...)}
-	if f.kind == KindHistogram {
+	switch f.kind {
+	case KindHistogram:
 		m.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	case KindSummary:
+		m.res = &reservoir{}
 	}
 	f.children[key] = m
 	return m
@@ -350,10 +358,48 @@ type MetricSnapshot struct {
 	LabelValues []string `json:"label_values,omitempty"`
 	// Value carries counter/gauge values.
 	Value float64 `json:"value,omitempty"`
-	// Histogram fields.
+	// Histogram and summary fields.
 	Count   uint64   `json:"count,omitempty"`
 	Sum     float64  `json:"sum,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Quantiles carries the summary's estimated quantile points.
+	Quantiles []QuantilePoint `json:"quantiles,omitempty"`
+}
+
+// QuantilePoint is one estimated quantile of a summary family.
+type QuantilePoint struct {
+	Quantile float64 `json:"quantile"`
+	Value    float64 `json:"value"`
+}
+
+// MarshalJSON renders NaN (no observations yet) as the string "NaN" —
+// JSON has no NaN literal.
+func (p QuantilePoint) MarshalJSON() ([]byte, error) {
+	v := "NaN"
+	if !math.IsNaN(p.Value) {
+		v = formatFloat(p.Value)
+	}
+	return []byte(fmt.Sprintf(`{"quantile":%s,"value":%q}`, formatFloat(p.Quantile), v)), nil
+}
+
+// UnmarshalJSON accepts the MarshalJSON form.
+func (p *QuantilePoint) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Quantile float64 `json:"quantile"`
+		Value    string  `json:"value"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	p.Quantile = raw.Quantile
+	if raw.Value == "NaN" {
+		p.Value = math.NaN()
+		return nil
+	}
+	if _, err := fmt.Sscanf(raw.Value, "%g", &p.Value); err != nil {
+		return fmt.Errorf("obs: bad quantile value %q: %w", raw.Value, err)
+	}
+	return nil
 }
 
 // Bucket is one histogram bucket: the cumulative count of observations
@@ -431,7 +477,8 @@ func (r *Registry) Snapshot() *Snapshot {
 		})
 		for _, m := range children {
 			ms := MetricSnapshot{LabelValues: append([]string(nil), m.labelValues...)}
-			if f.kind == KindHistogram {
+			switch f.kind {
+			case KindHistogram:
 				ms.Count = m.count.Load()
 				ms.Sum = math.Float64frombits(m.sumBits.Load())
 				cum := uint64(0)
@@ -443,7 +490,15 @@ func (r *Registry) Snapshot() *Snapshot {
 					}
 					ms.Buckets = append(ms.Buckets, Bucket{LE: le, Count: cum})
 				}
-			} else {
+			case KindSummary:
+				ms.Count = m.count.Load()
+				ms.Sum = math.Float64frombits(m.sumBits.Load())
+				sorted := m.res.snapshot()
+				for _, q := range quantilePoints {
+					ms.Quantiles = append(ms.Quantiles,
+						QuantilePoint{Quantile: q, Value: nearestRank(sorted, q)})
+				}
+			default:
 				ms.Value = math.Float64frombits(m.bits.Load())
 			}
 			fs.Metrics = append(fs.Metrics, ms)
@@ -479,6 +534,16 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 					}
 					fmt.Fprintf(&b, "%s_bucket%s %d\n",
 						f.Name, labelString(f.Labels, m.LabelValues, "le", le), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n",
+					f.Name, labelString(f.Labels, m.LabelValues, "", ""), formatFloat(m.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n",
+					f.Name, labelString(f.Labels, m.LabelValues, "", ""), m.Count)
+			case KindSummary:
+				for _, qp := range m.Quantiles {
+					fmt.Fprintf(&b, "%s%s %s\n",
+						f.Name, labelString(f.Labels, m.LabelValues, "quantile", formatFloat(qp.Quantile)),
+						formatFloat(qp.Value))
 				}
 				fmt.Fprintf(&b, "%s_sum%s %s\n",
 					f.Name, labelString(f.Labels, m.LabelValues, "", ""), formatFloat(m.Sum))

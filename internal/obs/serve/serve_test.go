@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mmtag/internal/obs"
+	"mmtag/internal/trace"
+)
+
+func startTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body), resp.StatusCode
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Quantile("demo_seconds", "help.").Observe(0.25)
+	s := startTestServer(t, Config{Registry: reg, RunID: "test-run"})
+
+	if body, code := get(t, s.URL()+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	body, code := get(t, s.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		`demo_seconds{quantile="0.5"} 0.25`,
+		`run_info{run="test-run"} 1`,
+		"serve_metrics_scrapes_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+	if body, code := get(t, s.URL()+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("pprof cmdline = %d %q", code, body)
+	}
+}
+
+func TestSSEStreamAndReplay(t *testing.T) {
+	s := startTestServer(t, Config{Registry: obs.NewRegistry(), RunID: "r"})
+	// Publish before any subscriber: the replay ring must hand these to
+	// a late joiner.
+	for i := 0; i < 3; i++ {
+		s.Publish(trace.Event{T: float64(i), Kind: trace.KindCustom, Detail: fmt.Sprintf("pre-%d", i), Run: "r"})
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	read := func() trace.Event {
+		t.Helper()
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var e trace.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", line, err)
+			}
+			return e
+		}
+		t.Fatalf("stream ended early: %v", sc.Err())
+		return trace.Event{}
+	}
+	for i := 0; i < 3; i++ {
+		if e := read(); e.Detail != fmt.Sprintf("pre-%d", i) {
+			t.Fatalf("replay event %d = %+v", i, e)
+		}
+	}
+	// A live event published after subscription arrives too. Publish
+	// from another goroutine like the simulation would.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Publish(trace.Event{T: 9, Kind: trace.KindCustom, Detail: "live", Run: "r"})
+	}()
+	if e := read(); e.Detail != "live" {
+		t.Fatalf("live event = %+v", e)
+	}
+	<-done
+}
+
+func TestSlowSubscriberDropsAreAccounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := startTestServer(t, Config{Registry: reg, EventBuffer: 4, Replay: -1})
+
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Without reading the stream, flood far past the buffer; Publish
+	// must never block and the overflow must be counted.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Publish(trace.Event{T: float64(i), Kind: trace.KindCustom, Detail: fmt.Sprintf("g%d-%d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	var dropped, published float64
+	for _, f := range snap.Families {
+		switch f.Name {
+		case "serve_events_dropped_total":
+			dropped = f.Metrics[0].Value
+		case "serve_events_published_total":
+			published = f.Metrics[0].Value
+		}
+	}
+	if published != 400 {
+		t.Errorf("published = %g, want 400", published)
+	}
+	if dropped == 0 {
+		t.Error("no drops accounted for a stalled subscriber")
+	}
+
+	// Catching up now must first announce the loss in-stream.
+	sc := bufio.NewScanner(resp.Body)
+	sawDropAnnounce := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: dropped") {
+			sawDropAnnounce = true
+			break
+		}
+		if strings.HasPrefix(line, "data: ") && !sawDropAnnounce {
+			continue
+		}
+	}
+	if !sawDropAnnounce {
+		t.Error("stream never announced dropped events")
+	}
+}
+
+func TestCloseIdempotentAndReleasesStreams(t *testing.T) {
+	s := startTestServer(t, Config{})
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The SSE body must terminate rather than hang.
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, resp.Body)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream not released by Close")
+	}
+	// Publishing after Close must not panic.
+	s.Publish(trace.Event{Kind: trace.KindCustom})
+}

@@ -20,8 +20,8 @@ type Spans struct {
 	rec   *trace.Recorder
 	clock func() float64 // simulated time, seconds; nil means always 0
 
-	wall *HistogramVec
-	sim  *HistogramVec
+	wall *LogHistogramVec
+	sim  *LogHistogramVec
 
 	mu    sync.Mutex
 	depth int
@@ -33,12 +33,12 @@ type Spans struct {
 func NewSpans(rec *trace.Recorder, simClock func() float64, reg *Registry) *Spans {
 	s := &Spans{rec: rec, clock: simClock}
 	if reg != nil {
-		s.wall = reg.HistogramVec("stage_wall_seconds",
-			"Wall-clock cost of computing each run stage.",
-			ExponentialBuckets(1e-6, 10, 9), "stage")
-		s.sim = reg.HistogramVec("stage_sim_seconds",
-			"Simulated time each run stage spans.",
-			ExponentialBuckets(1e-6, 10, 9), "stage")
+		s.wall = reg.LogHistogramVec("stage_wall_seconds",
+			"Wall-clock cost of computing each run stage (log2 buckets).",
+			"stage")
+		s.sim = reg.LogHistogramVec("stage_sim_seconds",
+			"Simulated time each run stage spans (log2 buckets).",
+			"stage")
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -120,7 +121,16 @@ func (p *Pool) worker() {
 			return
 		case j := <-p.jobs:
 			p.m.depth.Add(-1)
+			// Adopt the job's pprof labels (e.g. mmtag-bench's
+			// experiment=ID) so CPU samples taken on this worker
+			// attribute to the work, not the pool plumbing.
+			if j.ctx != nil {
+				pprof.SetGoroutineLabels(j.ctx)
+			}
 			for j.step(&p.m) {
+			}
+			if j.ctx != nil {
+				pprof.SetGoroutineLabels(context.Background())
 			}
 		}
 	}

@@ -1,0 +1,432 @@
+// Package profcost turns a Go CPU profile (gzipped pprof protobuf)
+// into sorted per-function cost tables without external dependencies:
+// a minimal wire-format decoder extracts samples, locations, functions
+// and string-keyed sample labels, and the report groups flat/cumulative
+// CPU time per function — per experiment when the producer tagged its
+// work with a pprof "experiment" label (cmd/mmtag-bench does, through
+// the internal/par pool's label propagation).
+//
+// DESIGN.md: section 8 (live observability and cost attribution);
+// modeled on the sorted per-function report of xdebug-style log
+// parsers, applied to pprof data.
+package profcost
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Profile is the subset of a pprof CPU profile the cost report needs.
+type Profile struct {
+	// Samples are the raw stack samples.
+	Samples []Sample
+	// DurationNanos is the profiled wall time (0 when absent).
+	DurationNanos int64
+}
+
+// Sample is one stack sample: CPU nanoseconds attributed to a stack of
+// function names (leaf first) under an optional label set.
+type Sample struct {
+	// Stack holds function names, leaf first.
+	Stack []string
+	// CPUNanos is the sampled CPU time.
+	CPUNanos int64
+	// Labels are the sample's string labels (e.g. experiment=E3).
+	Labels map[string]string
+}
+
+// FuncCost is one row of a cost table.
+type FuncCost struct {
+	// Function is the fully-qualified function name.
+	Function string
+	// Flat is CPU time sampled with the function at the leaf.
+	Flat time.Duration
+	// Cum is CPU time sampled with the function anywhere on the stack.
+	Cum time.Duration
+}
+
+// Report is the per-function cost attribution of one label group.
+type Report struct {
+	// Group is the value of the grouping label ("" for unlabeled
+	// samples).
+	Group string
+	// Total is the group's summed flat CPU time.
+	Total time.Duration
+	// Funcs is sorted by flat time descending (ties by name).
+	Funcs []FuncCost
+}
+
+// ParseFile reads and parses a pprof CPU profile from disk.
+func ParseFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse decodes a (possibly gzipped) pprof protobuf profile.
+func Parse(r io.Reader) (*Profile, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("profcost: gunzip: %w", err)
+		}
+		if raw, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("profcost: gunzip: %w", err)
+		}
+	}
+	return decodeProfile(raw)
+}
+
+// Attribute groups samples by groupLabel (e.g. "experiment") and
+// builds per-group function cost tables, groups sorted by total flat
+// time descending. Samples without the label form the "" group.
+func Attribute(p *Profile, groupLabel string) []*Report {
+	type agg struct {
+		flat, cum map[string]time.Duration
+		total     time.Duration
+	}
+	groups := make(map[string]*agg)
+	for _, s := range p.Samples {
+		g := s.Labels[groupLabel]
+		a := groups[g]
+		if a == nil {
+			a = &agg{flat: make(map[string]time.Duration), cum: make(map[string]time.Duration)}
+			groups[g] = a
+		}
+		d := time.Duration(s.CPUNanos)
+		a.total += d
+		if len(s.Stack) > 0 {
+			a.flat[s.Stack[0]] += d
+		}
+		seen := make(map[string]bool, len(s.Stack))
+		for _, fn := range s.Stack {
+			if !seen[fn] {
+				seen[fn] = true
+				a.cum[fn] += d
+			}
+		}
+	}
+	out := make([]*Report, 0, len(groups))
+	for g, a := range groups {
+		rep := &Report{Group: g, Total: a.total}
+		for fn, flat := range a.flat {
+			rep.Funcs = append(rep.Funcs, FuncCost{Function: fn, Flat: flat, Cum: a.cum[fn]})
+		}
+		// Functions that never sampled at the leaf still matter for cum.
+		for fn, cum := range a.cum {
+			if _, ok := a.flat[fn]; !ok {
+				rep.Funcs = append(rep.Funcs, FuncCost{Function: fn, Cum: cum})
+			}
+		}
+		sort.Slice(rep.Funcs, func(i, j int) bool {
+			if rep.Funcs[i].Flat != rep.Funcs[j].Flat {
+				return rep.Funcs[i].Flat > rep.Funcs[j].Flat
+			}
+			if rep.Funcs[i].Cum != rep.Funcs[j].Cum {
+				return rep.Funcs[i].Cum > rep.Funcs[j].Cum
+			}
+			return rep.Funcs[i].Function < rep.Funcs[j].Function
+		})
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}
+
+// Render writes the reports as aligned text tables, top n functions
+// per group (n <= 0 keeps everything).
+func Render(w io.Writer, reports []*Report, n int) {
+	for _, rep := range reports {
+		group := rep.Group
+		if group == "" {
+			group = "(unattributed)"
+		}
+		fmt.Fprintf(w, "cpu cost: %s (%s total)\n", group, rep.Total.Round(time.Microsecond))
+		fmt.Fprintf(w, "  %10s %6s %10s  %s\n", "flat", "flat%", "cum", "function")
+		funcs := rep.Funcs
+		if n > 0 && len(funcs) > n {
+			funcs = funcs[:n]
+		}
+		for _, fc := range funcs {
+			pct := 0.0
+			if rep.Total > 0 {
+				pct = 100 * float64(fc.Flat) / float64(rep.Total)
+			}
+			fmt.Fprintf(w, "  %10s %5.1f%% %10s  %s\n",
+				fc.Flat.Round(10*time.Microsecond), pct,
+				fc.Cum.Round(10*time.Microsecond), fc.Function)
+		}
+		if n > 0 && len(rep.Funcs) > n {
+			fmt.Fprintf(w, "  ... %d more functions\n", len(rep.Funcs)-n)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --- pprof protobuf wire decoding -----------------------------------
+//
+// The profile.proto schema is stable; only the fields the cost report
+// needs are decoded, everything else is skipped by wire type.
+
+type location struct {
+	id    uint64
+	funcs []uint64 // function IDs, leaf line first
+}
+
+type rawSample struct {
+	locIDs []uint64
+	values []int64
+	labels map[uint64]uint64 // key index -> value index, resolved later
+}
+
+// decodeProfile decodes an uncompressed profile message.
+func decodeProfile(b []byte) (*Profile, error) {
+	var (
+		strTab     []string
+		sampleType [][2]uint64 // (type, unit) string indices
+		samples    []rawSample
+		locs       = make(map[uint64]location)
+		funcNames  = make(map[uint64]uint64) // function ID -> name index
+		duration   int64
+	)
+	err := walkFields(b, func(field uint64, wire int, v uint64, payload []byte) error {
+		switch field {
+		case 1: // sample_type: ValueType
+			var st [2]uint64
+			if err := walkFields(payload, func(f uint64, w int, v uint64, p []byte) error {
+				switch f {
+				case 1:
+					st[0] = v
+				case 2:
+					st[1] = v
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			sampleType = append(sampleType, st)
+		case 2: // sample
+			s := rawSample{}
+			if err := walkFields(payload, func(f uint64, w int, v uint64, p []byte) error {
+				switch f {
+				case 1: // location_id, packed or repeated
+					s.locIDs = appendPackedUvarints(s.locIDs, w, v, p)
+				case 2: // value
+					for _, u := range appendPackedUvarints(nil, w, v, p) {
+						s.values = append(s.values, int64(u))
+					}
+				case 3: // label
+					var key, str uint64
+					if err := walkFields(p, func(f uint64, w int, v uint64, p []byte) error {
+						switch f {
+						case 1:
+							key = v
+						case 2:
+							str = v
+						}
+						return nil
+					}); err != nil {
+						return err
+					}
+					if key != 0 && str != 0 {
+						if s.labels == nil {
+							s.labels = make(map[uint64]uint64)
+						}
+						s.labels[key] = str
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			loc := location{}
+			if err := walkFields(payload, func(f uint64, w int, v uint64, p []byte) error {
+				switch f {
+				case 1:
+					loc.id = v
+				case 4: // line
+					var fnID uint64
+					if err := walkFields(p, func(f uint64, w int, v uint64, p []byte) error {
+						if f == 1 {
+							fnID = v
+						}
+						return nil
+					}); err != nil {
+						return err
+					}
+					loc.funcs = append(loc.funcs, fnID)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			locs[loc.id] = loc
+		case 5: // function
+			var id, name uint64
+			if err := walkFields(payload, func(f uint64, w int, v uint64, p []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					name = v
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			funcNames[id] = name
+		case 6: // string_table
+			strTab = append(strTab, string(payload))
+		case 10: // duration_nanos
+			duration = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profcost: %w", err)
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strTab)) {
+			return strTab[i]
+		}
+		return ""
+	}
+	// Pick the value index carrying CPU nanoseconds; fall back to the
+	// last value column (the pprof convention for cpu profiles).
+	cpuIdx := len(sampleType) - 1
+	for i, st := range sampleType {
+		if str(st[0]) == "cpu" && str(st[1]) == "nanoseconds" {
+			cpuIdx = i
+		}
+	}
+	p := &Profile{DurationNanos: duration}
+	for _, s := range samples {
+		if cpuIdx < 0 || cpuIdx >= len(s.values) {
+			continue
+		}
+		out := Sample{CPUNanos: s.values[cpuIdx]}
+		for _, lid := range s.locIDs {
+			loc, ok := locs[lid]
+			if !ok {
+				continue
+			}
+			// A location's lines are innermost (inlined leaf) first.
+			for _, fnID := range loc.funcs {
+				if name := str(funcNames[fnID]); name != "" {
+					out.Stack = append(out.Stack, name)
+				}
+			}
+		}
+		if len(s.labels) > 0 {
+			out.Labels = make(map[string]string, len(s.labels))
+			for k, v := range s.labels {
+				out.Labels[str(k)] = str(v)
+			}
+		}
+		p.Samples = append(p.Samples, out)
+	}
+	return p, nil
+}
+
+// walkFields iterates a protobuf message's fields. For varint fields
+// the callback receives the value in v; for length-delimited fields the
+// payload slice; fixed32/fixed64 are decoded into v.
+func walkFields(b []byte, fn func(field uint64, wire int, v uint64, payload []byte) error) error {
+	for len(b) > 0 {
+		tag, n := uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("bad field tag")
+		}
+		b = b[n:]
+		field, wire := tag>>3, int(tag&7)
+		var v uint64
+		var payload []byte
+		switch wire {
+		case 0: // varint
+			v, n = uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("bad varint (field %d)", field)
+			}
+			b = b[n:]
+		case 1: // fixed64
+			if len(b) < 8 {
+				return fmt.Errorf("short fixed64 (field %d)", field)
+			}
+			for i := 7; i >= 0; i-- {
+				v = v<<8 | uint64(b[i])
+			}
+			b = b[8:]
+		case 2: // length-delimited
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return fmt.Errorf("short bytes (field %d)", field)
+			}
+			payload = b[n : n+int(l)]
+			b = b[n+int(l):]
+		case 5: // fixed32
+			if len(b) < 4 {
+				return fmt.Errorf("short fixed32 (field %d)", field)
+			}
+			for i := 3; i >= 0; i-- {
+				v = v<<8 | uint64(b[i])
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d (field %d)", wire, field)
+		}
+		if err := fn(field, wire, v, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendPackedUvarints appends a repeated uint64 field's values,
+// accepting both packed (wire 2) and unpacked (wire 0) encodings.
+func appendPackedUvarints(dst []uint64, wire int, v uint64, payload []byte) []uint64 {
+	if wire == 0 {
+		return append(dst, v)
+	}
+	for len(payload) > 0 {
+		u, n := uvarint(payload)
+		if n <= 0 {
+			break
+		}
+		dst = append(dst, u)
+		payload = payload[n:]
+	}
+	return dst
+}
+
+// uvarint decodes a base-128 varint, returning the value and the byte
+// count (0 on truncation).
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * uint(i))
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

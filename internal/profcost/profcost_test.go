@@ -1,0 +1,228 @@
+package profcost
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- minimal protobuf test encoder ----------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendVarintField(b []byte, field, v uint64) []byte {
+	b = appendUvarint(b, field<<3|0)
+	return appendUvarint(b, v)
+}
+
+func appendBytesField(b []byte, field uint64, payload []byte) []byte {
+	b = appendUvarint(b, field<<3|2)
+	b = appendUvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func appendPacked(b []byte, field uint64, vals ...uint64) []byte {
+	var p []byte
+	for _, v := range vals {
+		p = appendUvarint(p, v)
+	}
+	return appendBytesField(b, field, p)
+}
+
+// buildProfile encodes a synthetic CPU profile:
+//
+//	strings: 1="cpu" 2="nanoseconds" 3..5=function names,
+//	         6="experiment" 7="E1" 8="E2"
+//	fast/slow both called under shared; one unlabeled fast sample.
+func buildProfile(t *testing.T, gzipped bool) []byte {
+	t.Helper()
+	var msg []byte
+	// string_table (field 6); index 0 must be "".
+	for _, s := range []string{"", "cpu", "nanoseconds", "main.fast", "main.slow", "main.shared", "experiment", "E1", "E2"} {
+		msg = appendBytesField(msg, 6, []byte(s))
+	}
+	// sample_type (field 1): ValueType{type: "cpu", unit: "nanoseconds"}.
+	var vt []byte
+	vt = appendVarintField(vt, 1, 1)
+	vt = appendVarintField(vt, 2, 2)
+	msg = appendBytesField(msg, 1, vt)
+	// functions (field 5): id -> name index.
+	for id, name := range map[uint64]uint64{1: 3, 2: 4, 3: 5} {
+		var fn []byte
+		fn = appendVarintField(fn, 1, id)
+		fn = appendVarintField(fn, 2, name)
+		msg = appendBytesField(msg, 5, fn)
+	}
+	// locations (field 4): one line each, function_id matching location id.
+	for id := uint64(1); id <= 3; id++ {
+		var line []byte
+		line = appendVarintField(line, 1, id) // function_id
+		var loc []byte
+		loc = appendVarintField(loc, 1, id)
+		loc = appendBytesField(loc, 4, line)
+		msg = appendBytesField(msg, 4, loc)
+	}
+	// samples (field 2). Leaf-first stacks.
+	sample := func(locIDs []uint64, ns uint64, labelVal uint64) []byte {
+		var s []byte
+		s = appendPacked(s, 1, locIDs...)
+		s = appendPacked(s, 2, ns)
+		if labelVal != 0 {
+			var lb []byte
+			lb = appendVarintField(lb, 1, 6) // key = "experiment"
+			lb = appendVarintField(lb, 2, labelVal)
+			s = appendBytesField(s, 3, lb)
+		}
+		return s
+	}
+	msg = appendBytesField(msg, 2, sample([]uint64{1, 3}, 100, 7)) // E1: fast <- shared
+	msg = appendBytesField(msg, 2, sample([]uint64{2, 3}, 200, 8)) // E2: slow <- shared
+	msg = appendBytesField(msg, 2, sample([]uint64{2, 3}, 150, 8)) // E2 again
+	msg = appendBytesField(msg, 2, sample([]uint64{1}, 50, 0))     // unlabeled
+	// duration_nanos (field 10).
+	msg = appendVarintField(msg, 10, 1000)
+
+	if !gzipped {
+		return msg
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseAndAttributeSynthetic(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		p, err := Parse(bytes.NewReader(buildProfile(t, gz)))
+		if err != nil {
+			t.Fatalf("gzipped=%v: %v", gz, err)
+		}
+		if p.DurationNanos != 1000 {
+			t.Errorf("duration = %d, want 1000", p.DurationNanos)
+		}
+		if len(p.Samples) != 4 {
+			t.Fatalf("samples = %d, want 4", len(p.Samples))
+		}
+		if got := p.Samples[0].Stack; len(got) != 2 || got[0] != "main.fast" || got[1] != "main.shared" {
+			t.Errorf("sample 0 stack = %v", got)
+		}
+		if got := p.Samples[0].Labels["experiment"]; got != "E1" {
+			t.Errorf("sample 0 label = %q, want E1", got)
+		}
+
+		reports := Attribute(p, "experiment")
+		if len(reports) != 3 {
+			t.Fatalf("reports = %d, want 3", len(reports))
+		}
+		// Sorted by total flat time: E2 (350) > E1 (100) > "" (50).
+		if reports[0].Group != "E2" || reports[0].Total != 350 {
+			t.Errorf("report 0 = %s/%v, want E2/350ns", reports[0].Group, reports[0].Total)
+		}
+		if reports[1].Group != "E1" || reports[1].Total != 100 {
+			t.Errorf("report 1 = %s/%v, want E1/100ns", reports[1].Group, reports[1].Total)
+		}
+		if reports[2].Group != "" || reports[2].Total != 50 {
+			t.Errorf("report 2 = %s/%v, want unattributed/50ns", reports[2].Group, reports[2].Total)
+		}
+		// E2: slow has all the flat time, shared only cumulative.
+		e2 := reports[0]
+		if e2.Funcs[0].Function != "main.slow" || e2.Funcs[0].Flat != 350 || e2.Funcs[0].Cum != 350 {
+			t.Errorf("E2 top = %+v", e2.Funcs[0])
+		}
+		found := false
+		for _, fc := range e2.Funcs {
+			if fc.Function == "main.shared" {
+				found = true
+				if fc.Flat != 0 || fc.Cum != 350 {
+					t.Errorf("shared = %+v, want flat 0 cum 350", fc)
+				}
+			}
+		}
+		if !found {
+			t.Error("E2 report missing caller-only function main.shared")
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	p, err := Parse(bytes.NewReader(buildProfile(t, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Render(&buf, Attribute(p, "experiment"), 1)
+	out := buf.String()
+	for _, want := range []string{
+		"cpu cost: E2",
+		"cpu cost: E1",
+		"cpu cost: (unattributed)",
+		"main.slow",
+		"flat%",
+		"more functions", // E2 has 2 funcs, top-1 truncates
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "cpu cost: E2") > strings.Index(out, "cpu cost: E1") {
+		t.Errorf("groups not sorted by total:\n%s", out)
+	}
+}
+
+// TestParseRealProfile round-trips an actual runtime CPU profile with a
+// goroutine label, proving the decoder handles what Go really emits.
+func TestParseRealProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	pprof.Do(context.Background(), pprof.Labels("experiment", "T1"), func(context.Context) {
+		x := 0.0
+		for time.Now().Before(deadline) {
+			for i := 0; i < 1e5; i++ {
+				x += float64(i) * 1.0000001
+			}
+		}
+		_ = x
+	})
+	pprof.StopCPUProfile()
+
+	p, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode real profile: %v", err)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("no samples captured (machine too slow/fast for SIGPROF)")
+	}
+	labeled := false
+	for _, s := range p.Samples {
+		if len(s.Stack) == 0 {
+			t.Errorf("sample with empty stack: %+v", s)
+		}
+		if s.Labels["experiment"] == "T1" {
+			labeled = true
+		}
+	}
+	if !labeled {
+		t.Error("no sample carries the experiment=T1 label")
+	}
+	if r := Attribute(p, "experiment"); len(r) == 0 {
+		t.Error("attribution produced no reports")
+	}
+}

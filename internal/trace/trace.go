@@ -71,6 +71,10 @@ type Event struct {
 	// Dropped carries the recorder's dropped-event count on the KindMeta
 	// trailer a bounded recorder appends to its JSONL export.
 	Dropped int `json:"dropped,omitempty"`
+	// Run identifies the producing run; a recorder with a run ID set
+	// stamps it on every event so logs from several runs can be merged
+	// and cost reports keyed per run.
+	Run string `json:"run,omitempty"`
 }
 
 // Recorder accumulates events. It is safe for concurrent use.
@@ -79,6 +83,36 @@ type Recorder struct {
 	events  []Event
 	cap     int
 	dropped int
+	run     string
+	sink    func(Event)
+	onDrop  func()
+}
+
+// SetRun sets the run ID stamped on every subsequently emitted event
+// (events that already carry one keep theirs).
+func (r *Recorder) SetRun(id string) {
+	r.mu.Lock()
+	r.run = id
+	r.mu.Unlock()
+}
+
+// Tee registers a live sink invoked with every emitted event, after
+// run-ID stamping and regardless of the recorder bound — a bounded
+// recorder that is dropping still streams. The sink runs on the
+// emitting goroutine and must not call back into the recorder.
+func (r *Recorder) Tee(fn func(Event)) {
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
+// SetDropHook registers a callback invoked once per event the bound
+// discards, so drops can be surfaced as a live counter instead of only
+// in the end-of-run trailer.
+func (r *Recorder) SetDropHook(fn func()) {
+	r.mu.Lock()
+	r.onDrop = fn
+	r.mu.Unlock()
 }
 
 // NewRecorder returns a recorder bounded to maxEvents (unbounded when
@@ -87,15 +121,28 @@ func NewRecorder(maxEvents int) *Recorder {
 	return &Recorder{cap: maxEvents}
 }
 
-// Emit records an event (unless the bound is reached).
+// Emit records an event (unless the bound is reached). Sinks and drop
+// hooks run outside the lock, on the emitting goroutine.
 func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if e.Run == "" {
+		e.Run = r.run
+	}
+	sink, onDrop := r.sink, r.onDrop
+	droppedNow := false
 	if r.cap > 0 && len(r.events) >= r.cap {
 		r.dropped++
-		return
+		droppedNow = true
+	} else {
+		r.events = append(r.events, e)
 	}
-	r.events = append(r.events, e)
+	r.mu.Unlock()
+	if sink != nil {
+		sink(e)
+	}
+	if droppedNow && onDrop != nil {
+		onDrop()
+	}
 }
 
 // Len returns the number of recorded events.
@@ -162,11 +209,15 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		if n := len(events); n > 0 {
 			last = events[n-1].T
 		}
+		r.mu.Lock()
+		run := r.run
+		r.mu.Unlock()
 		return enc.Encode(Event{
 			T:       last,
 			Kind:    KindMeta,
 			Detail:  "recorder bound reached; events dropped",
 			Dropped: dropped,
+			Run:     run,
 		})
 	}
 	return nil

@@ -205,3 +205,77 @@ func TestConcurrentEmitAndSnapshot(t *testing.T) {
 		t.Fatalf("kept+dropped = %d, want 800", got)
 	}
 }
+
+func TestSetRunStampsEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetRun("run-7")
+	r.Emit(Event{T: 1, Kind: KindCustom})
+	if got := r.Events()[0].Run; got != "run-7" {
+		t.Fatalf("event run = %q, want run-7", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"run":"run-7"`) {
+		t.Errorf("JSONL missing run label:\n%s", buf.String())
+	}
+}
+
+func TestTeeSeesEveryEmitPastTheBound(t *testing.T) {
+	r := NewRecorder(2)
+	var got []Event
+	r.Tee(func(e Event) { got = append(got, e) })
+	r.SetRun("r")
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{T: float64(i), Kind: KindCustom})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("bounded recorder kept %d", r.Len())
+	}
+	if len(got) != 5 {
+		t.Fatalf("tee saw %d events, want all 5", len(got))
+	}
+	if got[4].Run != "r" {
+		t.Errorf("tee event missing run stamp: %+v", got[4])
+	}
+}
+
+func TestDropHookFiresPerDroppedEvent(t *testing.T) {
+	r := NewRecorder(2)
+	drops := 0
+	r.SetDropHook(func() { drops++ })
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{T: float64(i), Kind: KindCustom})
+	}
+	if drops != 3 {
+		t.Fatalf("drop hook fired %d times, want 3", drops)
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", r.Dropped())
+	}
+}
+
+func TestConcurrentEmitWithTee(t *testing.T) {
+	r := NewRecorder(8)
+	var mu sync.Mutex
+	seen := 0
+	r.Tee(func(Event) { mu.Lock(); seen++; mu.Unlock() })
+	r.SetDropHook(func() {})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Emit(Event{T: float64(i), Kind: KindCustom})
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if seen != 200 {
+		t.Fatalf("tee saw %d events, want 200", seen)
+	}
+}

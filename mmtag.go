@@ -206,7 +206,26 @@ type RunConfig struct {
 	// counters, SNR and stage-duration histograms land on
 	// Report.Metrics. Off (the default) costs nothing.
 	CollectMetrics bool
+	// Metrics, when non-nil, is the registry the run meters into
+	// (implies CollectMetrics) — callers that serve metrics live pass
+	// their own registry so scrapes see the run in flight.
+	Metrics *MetricsRegistry
+	// RunID, when non-empty, is stamped on every trace event and
+	// published as the run_info metric, so multi-run logs and scrapes
+	// stay attributable.
+	RunID string
+	// EventSink, when non-nil, receives every trace event live on the
+	// emitting goroutine (e.g. an SSE broker's Publish). Setting it
+	// forces event recording on even without Trace/TraceJSONL writers.
+	EventSink func(TraceEvent)
 }
+
+// MetricsRegistry is the live metrics registry a metered Run fills;
+// see RunConfig.Metrics.
+type MetricsRegistry = obs.Registry
+
+// TraceEvent is one structured trace event; see RunConfig.EventSink.
+type TraceEvent = trace.Event
 
 // Report is the outcome of a Run. It aliases the simulator's report;
 // see sim.InventoryReport for field documentation.
@@ -224,12 +243,30 @@ func (s *System) Run(cfg RunConfig) (*Report, error) {
 		return nil, err
 	}
 	var rec *trace.Recorder
-	if cfg.Trace != nil || cfg.TraceJSONL != nil {
+	if cfg.Trace != nil || cfg.TraceJSONL != nil || cfg.EventSink != nil {
 		rec = trace.NewRecorder(100_000)
+		if cfg.RunID != "" {
+			rec.SetRun(cfg.RunID)
+		}
+		if cfg.EventSink != nil {
+			rec.Tee(cfg.EventSink)
+		}
 	}
 	var handle *obs.Handle
-	if cfg.CollectMetrics {
-		reg := obs.NewRegistry()
+	if cfg.CollectMetrics || cfg.Metrics != nil {
+		reg := cfg.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		if cfg.RunID != "" {
+			reg.GaugeVec("run_info",
+				"Identity of the run this registry meters.", "run").
+				With(cfg.RunID).Set(1)
+		}
+		if rec != nil {
+			rec.SetDropHook(reg.Counter("trace_dropped_events_total",
+				"Trace events discarded at the recorder bound.").Inc)
+		}
 		handle = obs.NewHandle(reg, obs.NewSpans(rec, nil, reg))
 	}
 	rep, err := sim.RunInventory(s.net, sim.InventoryConfig{
@@ -275,7 +312,8 @@ func Sweep(build func() (*System, error), cfg RunConfig, replicates, workers int
 	if build == nil {
 		return nil, fmt.Errorf("mmtag: sweep requires a build function")
 	}
-	if cfg.Trace != nil || cfg.TraceJSONL != nil || cfg.CollectMetrics {
+	if cfg.Trace != nil || cfg.TraceJSONL != nil || cfg.CollectMetrics ||
+		cfg.Metrics != nil || cfg.EventSink != nil {
 		return nil, fmt.Errorf("mmtag: sweep cannot trace or collect metrics (single-run sinks)")
 	}
 	plan, err := fault.ParseSpec(cfg.Faults)
