@@ -28,10 +28,11 @@ build:
 test:
 	$(GO) test ./...
 
-# internal/eval replays the full experiment suite several times under
-# the race detector; give it headroom beyond the default 10m.
+# internal/eval replays the full experiment suite (E1..E22) several
+# times under the race detector — ~12 min alone on a warm workstation —
+# so give the whole-tree run generous headroom.
 race:
-	$(GO) test -race -timeout 20m ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -67,3 +68,5 @@ serve-smoke:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDeriveSeed -fuzztime 10s ./internal/par/
 	$(GO) test -run xxx -fuzz FuzzTraceJSONL -fuzztime 10s ./cmd/mmtag-trace/
+	$(GO) test -run xxx -fuzz FuzzTierSelection -fuzztime 10s ./internal/link/
+	$(GO) test -run xxx -fuzz FuzzLinkBudgetOutcome -fuzztime 10s ./internal/link/

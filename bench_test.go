@@ -122,6 +122,10 @@ func BenchmarkE21EdgeReuse(b *testing.B) {
 	benchTable(b, func() (*eval.Table, error) { return eval.E21EdgeReuse(benchSeed) })
 }
 
+func BenchmarkE22ScaleTiers(b *testing.B) {
+	benchTable(b, func() (*eval.Table, error) { return eval.E22ScaleTiers(benchSeed) })
+}
+
 func BenchmarkA1RangeVsArraySize(b *testing.B) {
 	benchTable(b, func() (*eval.Table, error) { return eval.A1RangeVsArraySize(nil) })
 }

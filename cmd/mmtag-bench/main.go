@@ -7,7 +7,7 @@
 //	mmtag-bench                     # run everything, print text tables
 //	mmtag-bench -experiment E4      # one experiment
 //	mmtag-bench -faults             # chaos-soak subset R1..R3
-//	mmtag-bench -aps                # multi-AP deployment subset E19..E21
+//	mmtag-bench -aps                # multi-AP deployment subset E19..E22
 //	mmtag-bench -csv -out results/  # write one CSV per experiment
 //	mmtag-bench -seed 7             # change the Monte-Carlo seed
 //	mmtag-bench -parallel 8         # shard experiments across 8 workers
@@ -56,9 +56,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E21, A1, A2, R1..R3, T2, T3, or all)")
+	experiment := flag.String("experiment", "all", "experiment ID to run (E1..E22, A1, A2, R1..R3, T2, T3, or all)")
 	faults := flag.Bool("faults", false, "run only the chaos-soak experiments (R1..R3)")
-	aps := flag.Bool("aps", false, "run only the multi-AP deployment experiments (E19..E21)")
+	aps := flag.Bool("aps", false, "run only the multi-AP deployment experiments (E19..E22)")
 	seed := flag.Int64("seed", 42, "seed for Monte-Carlo experiments")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment pool (1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -379,7 +379,7 @@ func writeProfiles(dir string, w io.Writer) error {
 
 // run dispatches to the eval suite: "all" shards experiments across
 // x.Pool, "chaos" runs the fault-injection soaks (R1..R3), "net" runs
-// the multi-AP deployment subset (E19..E21), and a single ID runs just
+// the multi-AP deployment subset (E19..E22), and a single ID runs just
 // that experiment (its trial grid still shards across the pool).
 func run(x eval.Exec, id string, seed int64) ([]*eval.Table, error) {
 	if strings.EqualFold(id, "all") {

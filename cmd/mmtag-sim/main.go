@@ -62,6 +62,8 @@ type options struct {
 	sdm           bool
 	seed          int64
 	faults        string // fault-injection spec ("" = none)
+	scale         int    // tiered-fidelity population (0 = poll-level sim)
+	tiers         string // fidelity-tier spec for -scale ("" = defaults)
 	sweep         int    // replicate count (0 = single run)
 	parallel      int    // sweep worker count
 	trace         string // event log path ("" = off)
@@ -135,6 +137,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	flag.StringVar(&o.faults, "faults", "",
 		"fault-injection spec, e.g. 'blockage=30,death=0.25,ackloss=0.2' (keys: blockage dB, clear s, blocked s, death prob, lifetime s, brownout dBm, period s, ackloss prob, snr dB)")
+	flag.IntVar(&o.scale, "scale", 0, "run the tiered-fidelity scale deployment with this many tags (0 = poll-level sim; pairs with -aps and -tiers)")
+	flag.StringVar(&o.tiers, "tiers", "", "fidelity-tier spec for -scale: 'a=<dB>,b=<dB>' sets the waveform/symbol SNR floors, 'c' forces the link-budget tier, empty keeps defaults (a=30,b=15)")
 	flag.IntVar(&o.sweep, "sweep", 0, "run N replicates under seeds derived from -seed and report mean±std (0 = single run)")
 	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "worker count for -sweep replicates and -aps cells (1 = serial)")
 	flag.StringVar(&o.trace, "trace", "", "write the event/span log to this file (JSONL when it ends in .jsonl/.json)")
@@ -153,6 +157,17 @@ func main() {
 }
 
 func run(o options) error {
+	if o.out == nil {
+		o.out = os.Stdout
+	}
+	if o.scale > 0 {
+		// The scale path sizes its own population from -scale; the
+		// poll-level -tags bound does not apply.
+		return runScale(o)
+	}
+	if o.tiers != "" {
+		return fmt.Errorf("-tiers requires -scale")
+	}
 	if o.tags < 1 || o.tags > 255 {
 		return fmt.Errorf("tags must be in [1,255], got %d", o.tags)
 	}

@@ -557,7 +557,7 @@ func TestAllTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 29 { // E1..E21 (+E11b) + A1 + A2 + T2 + T3 + R1..R3
+	if len(tabs) != 30 { // E1..E22 (+E11b) + A1 + A2 + T2 + T3 + R1..R3
 		t.Fatalf("AllTables returned %d tables", len(tabs))
 	}
 	seen := map[string]bool{}
@@ -572,5 +572,39 @@ func TestAllTables(t *testing.T) {
 		if strings.TrimSpace(tab.Render()) == "" {
 			t.Fatal("render empty")
 		}
+	}
+}
+
+func TestE22Shape(t *testing.T) {
+	tab, err := E22ScaleTiers(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("E22 has %d rows, want 4", len(tab.Rows))
+	}
+	tags := column(t, tab, "tags")
+	a := column(t, tab, "tier_a")
+	b := column(t, tab, "tier_b")
+	c := column(t, tab, "tier_c")
+	delivery := column(t, tab, "delivery")
+	for i := range tags {
+		if a[i]+b[i]+c[i] != tags[i] {
+			t.Fatalf("row %d: tier split %g+%g+%g != %g tags", i, a[i], b[i], c[i], tags[i])
+		}
+		if delivery[i] <= 0 || delivery[i] >= 1 {
+			t.Fatalf("row %d: delivery %g not in (0,1)", i, delivery[i])
+		}
+	}
+	// The ladder rows must exercise every tier; the 1M row is pinned to
+	// the link-budget tier only.
+	for i := 0; i < 3; i++ {
+		if a[i] == 0 || b[i] == 0 || c[i] == 0 {
+			t.Fatalf("row %d: ladder not fully exercised (a=%g b=%g c=%g)", i, a[i], b[i], c[i])
+		}
+	}
+	last := len(tags) - 1
+	if tags[last] != 1e6 || a[last] != 0 || b[last] != 0 || c[last] != 1e6 {
+		t.Fatalf("1M row should be pure tier c, got a=%g b=%g c=%g", a[last], b[last], c[last])
 	}
 }

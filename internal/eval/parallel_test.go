@@ -97,7 +97,7 @@ func TestExperimentIDsMatchSuiteOrder(t *testing.T) {
 	want := []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
 		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"E19", "E20", "E21",
+		"E19", "E20", "E21", "E22",
 		"A1", "A2", "R1", "R2", "R3", "T2", "T3",
 	}
 	got := ExperimentIDs()

@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 		{"E19", one(func(x Exec, _ *Testbed, seed int64) (*Table, error) { return e19APScaling(x, seed) })},
 		{"E20", one(func(x Exec, _ *Testbed, seed int64) (*Table, error) { return e20HandoffLatency(x, seed) })},
 		{"E21", one(func(x Exec, _ *Testbed, seed int64) (*Table, error) { return e21EdgeReuse(x, seed) })},
+		{"E22", one(func(x Exec, _ *Testbed, seed int64) (*Table, error) { return e22ScaleTiers(x, seed) })},
 		{"A1", one(func(x Exec, tb *Testbed, _ int64) (*Table, error) { return A1RangeVsArraySize(tb) })},
 		{"A2", one(func(x Exec, tb *Testbed, seed int64) (*Table, error) { return a2SDMChains(x, tb, seed) })},
 		{"R1", one(func(x Exec, tb *Testbed, seed int64) (*Table, error) { return r1BurstBlockage(x, tb, seed) })},
@@ -82,10 +83,10 @@ func ChaosExperimentIDs() []string {
 	return ids
 }
 
-// NetExperimentIDs returns the multi-AP deployment subset (E19-E21) in
+// NetExperimentIDs returns the multi-AP deployment subset (E19-E22) in
 // report order — what mmtag-bench -aps runs.
 func NetExperimentIDs() []string {
-	return []string{"E19", "E20", "E21"}
+	return []string{"E19", "E20", "E21", "E22"}
 }
 
 // RunExperiment runs one experiment by (case-insensitive) ID on x.
@@ -96,7 +97,7 @@ func RunExperiment(x Exec, id string, tb *Testbed, seed int64) ([]*Table, error)
 			return e.Run(x, tb, seed)
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E21, A1, A2, R1..R3, T2, T3, all)", id)
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E22, A1, A2, R1..R3, T2, T3, all)", id)
 }
 
 // RunSuite runs every experiment and returns the full paper-style table

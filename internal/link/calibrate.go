@@ -1,0 +1,102 @@
+package link
+
+import (
+	"math"
+
+	"mmtag/internal/mac"
+	"mmtag/internal/phy"
+)
+
+// Calibration machinery: the fixed grid the tiers are compared over
+// and the statistics that turn Monte-Carlo counts into pass/fail
+// verdicts with explicit confidence bounds.
+
+// GridPoint is one cell of the calibration grid: a tag alphabet at a
+// linear-scale operating point.
+type GridPoint struct {
+	Mod    mac.Modulation
+	EbN0DB float64
+}
+
+// E3Grid returns the calibration grid — the same (modulation, Eb/N0)
+// lattice experiment E3 publishes: every tag alphabet at 2..10 dB. The
+// cross-tier calibration tests sweep exactly this grid so the ladder is
+// pinned where the repo's own published numbers live.
+func E3Grid() []GridPoint {
+	mods := []mac.Modulation{
+		mac.ModOOK(), mac.ModBPSK(), mac.ModQPSK(), mac.ModPSK8(), mac.ModQAM16(),
+	}
+	var grid []GridPoint
+	for _, m := range mods {
+		for _, db := range []float64{2, 4, 6, 8, 10} {
+			grid = append(grid, GridPoint{Mod: m, EbN0DB: db})
+		}
+	}
+	return grid
+}
+
+// CalibBits sizes a Monte-Carlo run for an expected error rate: at
+// least 60 expected errors (so the normal approximation behind the z
+// statistics holds), at least 60k bits, capped at 300k so the waveform
+// tier stays affordable. Points whose expected error count stays below
+// InformativeErrors even at the cap are compared by absolute bound
+// instead of z-test.
+func CalibBits(expected float64) int {
+	n := 60000
+	if expected > 0 && expected < 1e-3 {
+		n = int(60 / expected)
+	}
+	if n > 300000 {
+		n = 300000
+	}
+	return n
+}
+
+// InformativeErrors is the minimum expected error count for the
+// two-proportion z-test to be trusted; below it the Gaussian
+// approximation to the binomial is poor and the calibration falls back
+// to an absolute-rate bound.
+const InformativeErrors = 20
+
+// ZThreshold is the calibration pass bound on |z|. 4.5 sigma puts the
+// per-point false-alarm probability near 7e-6 — over the 25-point grid
+// a fixed-seed run essentially never trips by chance, while a modelling
+// error of even a fraction of a dB shows up at tens of sigma.
+const ZThreshold = 4.5
+
+// ZTwoProportion returns the two-proportion z statistic between two
+// Monte-Carlo BER measurements (pooled standard error). Zero counts on
+// both sides compare equal (z = 0).
+func ZTwoProportion(a, b phy.BERResult) float64 {
+	na, nb := float64(a.Bits), float64(b.Bits)
+	if na == 0 || nb == 0 {
+		return math.Inf(1)
+	}
+	pool := (float64(a.Errors) + float64(b.Errors)) / (na + nb)
+	se := math.Sqrt(pool * (1 - pool) * (1/na + 1/nb))
+	if se == 0 {
+		if a.Errors == b.Errors {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a.Rate()-b.Rate()) / se
+}
+
+// ZAgainstModel returns the one-sample z statistic of k successes in n
+// trials against a model probability p. Degenerate model probabilities
+// (0 or 1) return 0 when the observation agrees exactly and +Inf when
+// it does not.
+func ZAgainstModel(k, n int, p float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	if se == 0 {
+		if float64(k) == p*float64(n) {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(k)/float64(n)-p) / se
+}

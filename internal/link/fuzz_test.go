@@ -1,0 +1,89 @@
+package link
+
+import (
+	"math"
+	"testing"
+
+	"mmtag/internal/mac"
+	"mmtag/internal/par"
+)
+
+// FuzzTierSelection: arbitrary threshold pairs and SNR inputs never
+// panic, always return a valid tier, and tier boundaries stay monotone
+// in SNR (raising the SNR never picks a cheaper tier).
+func FuzzTierSelection(f *testing.F) {
+	f.Add(30.0, 15.0, 10.0, 20.0)
+	f.Add(10.0, 20.0, -5.0, 50.0) // inverted thresholds
+	f.Add(math.Inf(1), math.Inf(1), 0.0, 1e9)
+	f.Add(math.NaN(), 0.0, math.NaN(), 0.0)
+	f.Add(-300.0, -400.0, math.Inf(-1), math.Inf(1))
+	f.Fuzz(func(t *testing.T, wavMin, symMin, snrLo, snrHi float64) {
+		th := Thresholds{WaveformMinDB: wavMin, SymbolMinDB: symMin}
+		for _, snr := range []float64{snrLo, snrHi} {
+			tier := th.Pick(snr)
+			if tier < TierWaveform || tier >= numTiers {
+				t.Fatalf("Pick(%g) returned invalid tier %d", snr, tier)
+			}
+		}
+		if snrLo > snrHi {
+			snrLo, snrHi = snrHi, snrLo
+		}
+		// NaN is unordered; the monotonicity contract only speaks about
+		// comparable SNRs.
+		if !math.IsNaN(snrLo) && !math.IsNaN(snrHi) {
+			lo, hi := th.Pick(snrLo), th.Pick(snrHi)
+			if hi > lo {
+				t.Fatalf("tier not monotone: Pick(%g)=%v but Pick(%g)=%v", snrLo, lo, snrHi, hi)
+			}
+		}
+	})
+}
+
+// FuzzLinkBudgetOutcome: arbitrary SNR and geometry inputs never
+// panic the tier-c engine and never produce a probability outside
+// [0, 1]. The geometry half mirrors the deployment's analytic budget
+// shape (SNR ~ 1/d^4 with a range floor), fed coordinates that may be
+// NaN, infinite or negative.
+func FuzzLinkBudgetOutcome(f *testing.F) {
+	f.Add(uint8(0), 10.0, 400, 1.0, 2.0, int64(42))
+	f.Add(uint8(3), math.NaN(), -7, 0.0, 0.0, int64(0))
+	f.Add(uint8(200), math.Inf(1), 1<<20, math.Inf(-1), math.NaN(), int64(-1))
+	f.Add(uint8(7), -1e300, 0, 1e308, -1e308, int64(7))
+	f.Fuzz(func(t *testing.T, rateIdx uint8, snr float64, airBits int, dx, dy float64, seed int64) {
+		table := mac.DefaultRateTable()
+		r := table[int(rateIdx)%len(table)]
+		var bud Budget
+
+		checkProb := func(p float64, label string) {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("%s probability %g outside [0,1]", label, p)
+			}
+		}
+		checkProb(bud.SuccessProb(r, snr, airBits), "direct-snr")
+
+		// Geometry path: the scale deployment's SNR estimate shape, with
+		// the same clamp discipline (range floor, non-finite collapse).
+		d2 := dx*dx + dy*dy
+		const minDist2 = 0.25 * 0.25
+		if !(d2 > minDist2) { // catches NaN too
+			d2 = minDist2
+		}
+		const snrAt1m = 3.5e6 // ~65 dB, the deployment's 1 m operating point order
+		geoSNR := snrAt1m / (d2 * d2)
+		checkProb(bud.SuccessProb(r, geoSNR, airBits), "geometry")
+
+		s := par.NewStream(seed, 9)
+		bud.FrameOutcome(r, geoSNR, airBits, &s) // must not panic
+		bud.FrameOutcome(r, snr, airBits, &s)
+
+		if airBits > 0 && airBits < 1<<24 {
+			res, err := bud.MeasureBER(r.Mod, snr, airBits, nil)
+			if err != nil {
+				t.Fatalf("MeasureBER(%g, %d): %v", snr, airBits, err)
+			}
+			if res.Errors < 0 || res.Errors > res.Bits {
+				t.Fatalf("error count %d outside [0,%d]", res.Errors, res.Bits)
+			}
+		}
+	})
+}

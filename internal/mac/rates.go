@@ -95,10 +95,11 @@ func (r Rate) String() string {
 	return fmt.Sprintf("%s-%gM%s", r.Mod.Name, r.BitRate/1e6, c)
 }
 
-// codingGainDB is the modelled soft-decision Viterbi (K=7, r=1/2)
+// CodingGainDB is the modelled soft-decision Viterbi (K=7, r=1/2)
 // coding gain applied to Eb/N0 in PER prediction. 4.5 dB is the
-// textbook value at BER ~1e-5.
-const codingGainDB = 4.5
+// textbook value at BER ~1e-5. Exported so the tiered link engines
+// price coded rates identically to the MAC's prediction.
+const CodingGainDB = 4.5
 
 // BERAt returns the predicted bit error rate for this rate at the given
 // linear SNR, where SNR is measured in the symbol-rate noise bandwidth
@@ -111,7 +112,7 @@ func (r Rate) BERAt(snr float64) float64 {
 	// information bits on air.
 	ebn0 := snr / float64(r.Mod.BitsPerSymbol)
 	if r.Coded {
-		ebn0 *= rfmath.FromDB(codingGainDB)
+		ebn0 *= rfmath.FromDB(CodingGainDB)
 	}
 	return r.Mod.BER(ebn0)
 }

@@ -1,0 +1,532 @@
+package net
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"mmtag/internal/frame"
+	"mmtag/internal/link"
+	"mmtag/internal/mac"
+	"mmtag/internal/obs"
+	"mmtag/internal/par"
+	"mmtag/internal/vanatta"
+)
+
+// The scale path: a tiered-fidelity deployment for populations far
+// beyond the 255-tag poll-level Deployment. Tags are never
+// materialized — each one's position, association, fidelity tier and
+// frame outcomes are a pure function of (Seed, tag index) computed on
+// the fly from private par.Derive streams, and all aggregation is
+// order-independent integer arithmetic into O(APs) atomic state. The
+// result is byte-identical at any parallelism and any chunking.
+
+// Scale-path stream namespaces, disjoint from the deployment streams
+// above by the high bits. Each tag owns one placement stream and one
+// link stream per fidelity tier.
+const (
+	streamScalePlaceBase uint64 = 4 << 40 // + tag index
+	streamScaleLinkBase  uint64 = 5 << 40 // + tier*scaleTierStride + tag index
+	scaleTierStride      uint64 = 1 << 33
+	// maxScaleTags bounds the population so tag indices stay inside
+	// their stream namespace slice.
+	maxScaleTags = 1 << 26
+)
+
+// cosDiscoverySector is the coverage test constant: a tag is inside an
+// AP's discovery sector when the northward component of the AP→tag
+// direction is at least cos(72°) of the range.
+var cosDiscoverySector = math.Cos(discoverySectorDeg * math.Pi / 180)
+
+// ScaleConfig parameterizes a tiered-fidelity scale run. APs, Tags and
+// Seed are required; the zero value of everything else selects a
+// documented default.
+type ScaleConfig struct {
+	// APs is the number of access points (>= 1), tiled exactly like
+	// Config: Cols columns (near-square by default), CellM pitch, each
+	// AP at the midpoint of its cell's south edge facing north.
+	APs   int
+	Cols  int
+	CellM float64
+	// Tags is the population size (1..maxScaleTags). Tags are placed
+	// uniformly over the deployment area from per-tag derived streams.
+	Tags int
+	// Tiers maps association SNR to fidelity tier
+	// (link.DefaultThresholds by default).
+	Tiers *link.Thresholds
+	// Rate is the polling rate every tag uses (ProbeRate by default —
+	// the same mid-ladder entry the deployment probes with).
+	Rate mac.Rate
+	// FramesPerTag is how many poll frames each tag attempts (4 by
+	// default).
+	FramesPerTag int
+	// PayloadBytes sizes each frame's payload (32 by default).
+	PayloadBytes int
+	// ChunkSize is the tag-index block one pool shard processes (4096
+	// by default). Chunk boundaries depend only on Tags and ChunkSize,
+	// never on the worker count, so results are chunking-stable.
+	ChunkSize int
+	// TagElements sizes the tag Van Atta array (8 by default).
+	TagElements int
+	// Modulation names the association-estimate alphabet ("qpsk" by
+	// default; the polling alphabet comes from Rate).
+	Modulation string
+	// Seed drives all randomness via par.Derive.
+	Seed int64
+	// Pool shards chunks across workers; nil runs serially with
+	// identical output.
+	Pool *par.Pool
+	// Obs, when non-nil, meters the run with streaming instruments
+	// (reservoir quantiles and log-histograms; O(1) state per family).
+	Obs *obs.Handle
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.CellM == 0 {
+		c.CellM = 8
+	}
+	if c.Cols <= 0 {
+		c.Cols = int(math.Ceil(math.Sqrt(float64(c.APs))))
+	}
+	if c.Rate.Mod.Name == "" {
+		c.Rate = ProbeRate()
+	}
+	if c.FramesPerTag == 0 {
+		c.FramesPerTag = 4
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 32
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 4096
+	}
+	if c.TagElements == 0 {
+		c.TagElements = 8
+	}
+	if c.Modulation == "" {
+		c.Modulation = "qpsk"
+	}
+	return c
+}
+
+// ScaleCell is one AP's aggregate over the population it serves.
+type ScaleCell struct {
+	// AP is the cell's AP index.
+	AP int
+	// Tags is the number of tags associated with this AP, split by
+	// fidelity tier in TierTags (indexed by link.Tier).
+	Tags     int64
+	TierTags [3]int64
+	// FramesOK and FramesLost count poll-frame outcomes.
+	FramesOK, FramesLost int64
+	// SNRSumMilliDB accumulates the association SNR (milli-dB) over
+	// the cell's tags; divide by Tags for the mean. Integer so the
+	// parallel fold is exact.
+	SNRSumMilliDB int64
+}
+
+// MeanSNRMilliDB returns the cell's mean association SNR in milli-dB
+// (0 for an empty cell).
+func (c *ScaleCell) MeanSNRMilliDB() int64 {
+	if c.Tags == 0 {
+		return 0
+	}
+	return c.SNRSumMilliDB / c.Tags
+}
+
+// ScaleReport is the outcome of a scale run. Every field is integer
+// (or echoes the configuration), so rendering it is byte-stable.
+type ScaleReport struct {
+	APs, Rows, Cols, Tags int
+	Rate                  string
+	FramesPerTag          int
+	PayloadBytes          int
+	AirBits               int
+	// TierTags is the population split across the fidelity ladder.
+	TierTags [3]int64
+	// FramesOK and FramesLost are deployment totals.
+	FramesOK, FramesLost int64
+	// DeliveredBits is the information delivered (FramesOK * payload
+	// bits).
+	DeliveredBits int64
+	// Cells holds one aggregate per AP, in AP index order.
+	Cells []ScaleCell
+}
+
+// scaleAgg is the shared O(APs) aggregation state chunks fold into.
+// Every field is an atomic integer, so the fold commutes: any chunk
+// interleaving produces identical totals.
+type scaleAgg struct {
+	tags     []atomic.Int64
+	tier     [3][]atomic.Int64
+	ok       []atomic.Int64
+	lost     []atomic.Int64
+	snrMilli []atomic.Int64
+}
+
+func newScaleAgg(aps int) *scaleAgg {
+	a := &scaleAgg{
+		tags:     make([]atomic.Int64, aps),
+		ok:       make([]atomic.Int64, aps),
+		lost:     make([]atomic.Int64, aps),
+		snrMilli: make([]atomic.Int64, aps),
+	}
+	for t := range a.tier {
+		a.tier[t] = make([]atomic.Int64, aps)
+	}
+	return a
+}
+
+// scaleMetrics are the streaming observability instruments of the
+// scale path; nil when metering is off. Reservoir and histogram state
+// is O(1) per family regardless of population size.
+type scaleMetrics struct {
+	aps, tags *obs.Gauge
+	snr       *obs.Quantile     // scale_tag_snr_db (reservoir summary)
+	delivery  *obs.LogHistogram // scale_tag_delivery_ratio
+	tierTags  *obs.CounterVec   // scale_tier_tags_total{tier}
+}
+
+func newScaleMetrics(reg *obs.Registry) *scaleMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &scaleMetrics{
+		aps:  reg.Gauge("scale_aps", "Access points in the scale deployment."),
+		tags: reg.Gauge("scale_tags", "Tags simulated by the scale deployment."),
+		snr: reg.Quantile("scale_tag_snr_db",
+			"Association SNR across the population (reservoir-sampled p50/p90/p99)."),
+		delivery: reg.LogHistogram("scale_tag_delivery_ratio",
+			"Per-tag delivered-frame fraction."),
+		tierTags: reg.CounterVec("scale_tier_tags_total",
+			"Tags simulated at each fidelity tier.", "tier"),
+	}
+}
+
+// ScaleDeployment is the immutable geometry and link model of a scale
+// run; Run may be called repeatedly and concurrently.
+type ScaleDeployment struct {
+	cfg        ScaleConfig
+	rows, cols int
+	apX, apY   []float64
+	// snrAssoc1m is the linear association-bandwidth SNR at 1 m range.
+	// The analytic budget is monostatic free space, so SNR(d) =
+	// snrAssoc1m / d^4 exactly — one division per candidate AP in the
+	// hot loop instead of a full link-budget evaluation.
+	snrAssoc1m float64
+	// rateSNRScale converts association-bandwidth SNR to the rate's
+	// symbol-rate noise bandwidth (assocBandwidthHz / SymbolRate).
+	rateSNRScale float64
+	tiers        link.Thresholds
+	airBits      int
+	m            *scaleMetrics
+}
+
+// NewScale builds the scale deployment: the AP grid and the analytic
+// link constants shared with the deployment association estimate.
+func NewScale(cfg ScaleConfig) (*ScaleDeployment, error) {
+	cfg = cfg.withDefaults()
+	if cfg.APs < 1 {
+		return nil, fmt.Errorf("net: scale deployment needs at least one AP, got %d", cfg.APs)
+	}
+	if cfg.APs > maxCells {
+		return nil, fmt.Errorf("net: too many APs (%d)", cfg.APs)
+	}
+	if cfg.Tags < 1 || cfg.Tags > maxScaleTags {
+		return nil, fmt.Errorf("net: scale tags must be in [1,%d], got %d", maxScaleTags, cfg.Tags)
+	}
+	if cfg.FramesPerTag < 1 {
+		return nil, fmt.Errorf("net: frames per tag must be >= 1, got %d", cfg.FramesPerTag)
+	}
+	ref, err := newCellAP()
+	if err != nil {
+		return nil, err
+	}
+	refl, err := vanatta.New(vanatta.Config{
+		Elements:        cfg.TagElements,
+		InsertionLossDB: tagInsertionLossDB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mod, err := vanatta.ByName(cfg.Modulation)
+	if err != nil {
+		return nil, fmt.Errorf("net: %w", err)
+	}
+	s := &ScaleDeployment{
+		cfg:   cfg,
+		cols:  cfg.Cols,
+		rows:  (cfg.APs + cfg.Cols - 1) / cfg.Cols,
+		tiers: link.DefaultThresholds(),
+	}
+	if cfg.Tiers != nil {
+		s.tiers = *cfg.Tiers
+	}
+	// The same analytic budget Deployment.snrEstDB evaluates, taken at
+	// 1 m; free-space monostatic SNR then scales exactly as 1/d^4.
+	est := &Deployment{
+		apGainLin:  ref.GainToward(0),
+		freqHz:     ref.Config().FreqHz,
+		txPowerW:   ref.Config().TxPowerW,
+		noiseFigDB: ref.Config().NoiseFigureDB,
+		estRefl:    refl,
+		estEff:     mod.MeanReflectedPower(),
+	}
+	snr1m, err := est.assocLink(1).SNR(assocBandwidthHz)
+	if err != nil {
+		return nil, fmt.Errorf("net: scale budget: %w", err)
+	}
+	s.snrAssoc1m = snr1m
+	s.rateSNRScale = assocBandwidthHz / cfg.Rate.SymbolRate()
+	s.airBits = frame.AirBits(cfg.PayloadBytes, frame.Options{Coded: cfg.Rate.Coded})
+	for a := 0; a < cfg.APs; a++ {
+		r, c := a/s.cols, a%s.cols
+		s.apX = append(s.apX, (float64(c)+0.5)*cfg.CellM)
+		s.apY = append(s.apY, float64(r)*cfg.CellM)
+	}
+	s.m = newScaleMetrics(cfg.Obs.Registry())
+	if s.m != nil {
+		s.m.aps.Set(float64(cfg.APs))
+		s.m.tags.Set(float64(cfg.Tags))
+	}
+	return s, nil
+}
+
+// Rows and Cols return the grid shape; Width and Height the area.
+func (s *ScaleDeployment) Rows() int       { return s.rows }
+func (s *ScaleDeployment) Cols() int       { return s.cols }
+func (s *ScaleDeployment) Width() float64  { return float64(s.cols) * s.cfg.CellM }
+func (s *ScaleDeployment) Height() float64 { return float64(s.rows) * s.cfg.CellM }
+
+// tagPos derives tag i's position from its private placement stream —
+// the same margins Deployment placement uses (0.5 m off the south
+// wall so no tag coincides with an AP).
+func (s *ScaleDeployment) tagPos(i int) (x, y float64) {
+	ps := par.NewStream(s.cfg.Seed, streamScalePlaceBase+uint64(i))
+	x = ps.Float64() * s.Width()
+	y = 0.5 + ps.Float64()*(s.Height()-0.5)
+	return x, y
+}
+
+// snrEstAt returns the linear association-bandwidth SNR from AP a to
+// (x, y), with the deployment's minimum-range clamp.
+func (s *ScaleDeployment) snrEstAt(a int, x, y float64) float64 {
+	dx, dy := x-s.apX[a], y-s.apY[a]
+	d2 := dx*dx + dy*dy
+	if d2 < minAssocDistM*minAssocDistM {
+		d2 = minAssocDistM * minAssocDistM
+	}
+	return s.snrAssoc1m / (d2 * d2)
+}
+
+// coversAt reports whether AP a's discovery sector (±72° off north)
+// contains (x, y) — the pure-math form of Deployment.covers.
+func (s *ScaleDeployment) coversAt(a int, x, y float64) bool {
+	dx, dy := x-s.apX[a], y-s.apY[a]
+	d := math.Sqrt(dx*dx + dy*dy)
+	return dy >= d*cosDiscoverySector
+}
+
+// better reports whether candidate (snr, a) beats the incumbent
+// (bestSNR, best) under the deployment tie rule — higher SNR wins,
+// exact ties keep the lowest AP index. Expressed symmetrically so the
+// selection is independent of scan order.
+func better(snr float64, a int, bestSNR float64, best int) bool {
+	if snr != bestSNR {
+		return snr > bestSNR
+	}
+	return a < best
+}
+
+// assign returns tag position (x, y)'s serving AP and association SNR.
+// Candidates come from the 3×3 grid-cell neighbourhood of the
+// containing cell — with south-edge APs facing north, the nearest
+// covering AP always lies there (TestScaleNeighborhoodMatchesFullScan
+// pins this against the exhaustive scan). Covering APs win; a position
+// no sector covers falls back to the best AP regardless, like
+// Deployment.bestAP.
+func (s *ScaleDeployment) assign(x, y float64) (best int, bestSNR float64) {
+	cc := int(x / s.cfg.CellM)
+	cr := int(y / s.cfg.CellM)
+	best, bestSNR = -1, math.Inf(-1)
+	fallback, fallbackSNR := -1, math.Inf(-1)
+	for r := cr - 1; r <= cr+1; r++ {
+		if r < 0 || r >= s.rows {
+			continue
+		}
+		for c := cc - 1; c <= cc+1; c++ {
+			if c < 0 || c >= s.cols {
+				continue
+			}
+			a := r*s.cols + c
+			if a >= s.cfg.APs {
+				continue
+			}
+			snr := s.snrEstAt(a, x, y)
+			if s.coversAt(a, x, y) {
+				if best < 0 || better(snr, a, bestSNR, best) {
+					best, bestSNR = a, snr
+				}
+			} else if fallback < 0 || better(snr, a, fallbackSNR, fallback) {
+				fallback, fallbackSNR = a, snr
+			}
+		}
+	}
+	if best >= 0 {
+		return best, bestSNR
+	}
+	return fallback, fallbackSNR
+}
+
+// assignFull is the exhaustive-scan reference for assign, used by the
+// neighbourhood-correctness and enumeration-stability tests. order
+// permutes the scan; the result must not depend on it.
+func (s *ScaleDeployment) assignFull(x, y float64, order []int) (best int, bestSNR float64) {
+	best, bestSNR = -1, math.Inf(-1)
+	fallback, fallbackSNR := -1, math.Inf(-1)
+	for _, a := range order {
+		snr := s.snrEstAt(a, x, y)
+		if s.coversAt(a, x, y) {
+			if best < 0 || better(snr, a, bestSNR, best) {
+				best, bestSNR = a, snr
+			}
+		} else if fallback < 0 || better(snr, a, fallbackSNR, fallback) {
+			fallback, fallbackSNR = a, snr
+		}
+	}
+	if best >= 0 {
+		return best, bestSNR
+	}
+	return fallback, fallbackSNR
+}
+
+// TagAssignment exposes one tag's derived placement, serving AP,
+// association SNR (dB) and fidelity tier — a pure function of the
+// configuration, independent of Run.
+func (s *ScaleDeployment) TagAssignment(i int) (apIdx int, snrDB float64, tier link.Tier) {
+	x, y := s.tagPos(i)
+	apIdx, snr := s.assign(x, y)
+	snrDB = 10 * math.Log10(snr)
+	return apIdx, snrDB, s.tiers.Pick(snrDB)
+}
+
+// Run simulates the population: chunks of ChunkSize consecutive tag
+// indices fan out over the pool, every tag draws its frames from its
+// private per-tier stream, and outcomes fold into O(APs) atomic
+// integer state. The report is byte-identical at any worker count.
+func (s *ScaleDeployment) Run() (*ScaleReport, error) {
+	cfg := s.cfg
+	agg := newScaleAgg(cfg.APs)
+	nChunks := (cfg.Tags + cfg.ChunkSize - 1) / cfg.ChunkSize
+	if err := cfg.Pool.Map(nil, nChunks, func(ci int) error {
+		return s.runChunk(ci, agg)
+	}); err != nil {
+		return nil, fmt.Errorf("net: scale run: %w", err)
+	}
+	rep := &ScaleReport{
+		APs:          cfg.APs,
+		Rows:         s.rows,
+		Cols:         s.cols,
+		Tags:         cfg.Tags,
+		Rate:         cfg.Rate.String(),
+		FramesPerTag: cfg.FramesPerTag,
+		PayloadBytes: cfg.PayloadBytes,
+		AirBits:      s.airBits,
+		Cells:        make([]ScaleCell, cfg.APs),
+	}
+	for a := 0; a < cfg.APs; a++ {
+		cell := &rep.Cells[a]
+		cell.AP = a
+		cell.Tags = agg.tags[a].Load()
+		cell.FramesOK = agg.ok[a].Load()
+		cell.FramesLost = agg.lost[a].Load()
+		cell.SNRSumMilliDB = agg.snrMilli[a].Load()
+		for t := range cell.TierTags {
+			cell.TierTags[t] = agg.tier[t][a].Load()
+			rep.TierTags[t] += cell.TierTags[t]
+		}
+		rep.FramesOK += cell.FramesOK
+		rep.FramesLost += cell.FramesLost
+	}
+	rep.DeliveredBits = rep.FramesOK * int64(cfg.PayloadBytes) * 8
+	if s.m != nil {
+		for t, n := range rep.TierTags {
+			s.m.tierTags.With(link.Tier(t).String()).Add(float64(n))
+		}
+	}
+	return rep, nil
+}
+
+// runChunk simulates tags [ci*ChunkSize, min((ci+1)*ChunkSize, Tags)).
+// The tier-c path is allocation-free per tag (value-type RNG streams,
+// closed-form outcomes); the bounded tier-a/b heads lazily build their
+// engines once per chunk and reseed a single shared RNG per tag.
+func (s *ScaleDeployment) runChunk(ci int, agg *scaleAgg) error {
+	cfg := s.cfg
+	lo := ci * cfg.ChunkSize
+	hi := lo + cfg.ChunkSize
+	if hi > cfg.Tags {
+		hi = cfg.Tags
+	}
+	var bud link.Budget
+	var sym *link.Symbol
+	var wav *link.Waveform
+	var rng *rand.Rand
+	for i := lo; i < hi; i++ {
+		x, y := s.tagPos(i)
+		a, snr := s.assign(x, y)
+		snrDB := 10 * math.Log10(snr)
+		tier := s.tiers.Pick(snrDB)
+		snrRate := snr * s.rateSNRScale
+
+		ok := 0
+		linkStream := streamScaleLinkBase + uint64(tier)*scaleTierStride + uint64(i)
+		switch tier {
+		case link.TierBudget:
+			st := par.NewStream(cfg.Seed, linkStream)
+			for f := 0; f < cfg.FramesPerTag; f++ {
+				if bud.FrameOutcome(cfg.Rate, snrRate, s.airBits, &st) {
+					ok++
+				}
+			}
+		default:
+			if rng == nil {
+				rng = rand.New(rand.NewSource(0))
+			}
+			rng.Seed(par.Derive(cfg.Seed, linkStream))
+			var eng link.Engine
+			if tier == link.TierWaveform {
+				if wav == nil {
+					wav = link.NewWaveform()
+				}
+				eng = wav
+			} else {
+				if sym == nil {
+					sym = link.NewSymbol()
+				}
+				eng = sym
+			}
+			for f := 0; f < cfg.FramesPerTag; f++ {
+				good, err := eng.FrameSuccess(cfg.Rate, snrRate, cfg.PayloadBytes, rng)
+				if err != nil {
+					return err
+				}
+				if good {
+					ok++
+				}
+			}
+		}
+
+		agg.tags[a].Add(1)
+		agg.tier[tier][a].Add(1)
+		agg.ok[a].Add(int64(ok))
+		agg.lost[a].Add(int64(cfg.FramesPerTag - ok))
+		agg.snrMilli[a].Add(int64(math.Round(snrDB * 1000)))
+		if s.m != nil {
+			s.m.snr.Observe(snrDB)
+			s.m.delivery.Observe(float64(ok) / float64(cfg.FramesPerTag))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package net
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mmtag/internal/link"
+	"mmtag/internal/par"
+	"mmtag/internal/rfmath"
+)
+
+// scaleCfg is the shared small-but-mixed test deployment: 32 m cells
+// put real population mass in every fidelity tier, and the odd chunk
+// size exercises boundary chunks.
+func scaleCfg() ScaleConfig {
+	return ScaleConfig{
+		APs:          9,
+		Cols:         3,
+		CellM:        32,
+		Tags:         800,
+		Seed:         4242,
+		FramesPerTag: 2,
+		ChunkSize:    97,
+	}
+}
+
+func runScale(t *testing.T, cfg ScaleConfig) *ScaleReport {
+	t.Helper()
+	s, err := NewScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestScaleDeterministicAcrossParallelism is the scale path's core
+// reproducibility contract: the report must be byte-identical whether
+// chunks run serially, on an 8-worker pool, or with a different chunk
+// size entirely — every tag is a pure function of (seed, index) and
+// the aggregation commutes.
+func TestScaleDeterministicAcrossParallelism(t *testing.T) {
+	serial := runScale(t, scaleCfg())
+
+	pool := par.New(par.Config{Workers: 8})
+	defer pool.Close()
+	cfg := scaleCfg()
+	cfg.Pool = pool
+	parallel := runScale(t, cfg)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("report differs across parallelism:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+
+	cfg = scaleCfg()
+	cfg.ChunkSize = 256
+	rechunked := runScale(t, cfg)
+	if !reflect.DeepEqual(serial, rechunked) {
+		t.Fatalf("report differs across chunk size:\nchunk 97:  %+v\nchunk 256: %+v", serial, rechunked)
+	}
+}
+
+// TestScaleAssignStableUnderReEnumeration pins association (and hence
+// tier assignment) against AP-grid re-enumeration: the neighbourhood
+// scan, the exhaustive forward scan and the exhaustive reverse scan
+// must all pick the same AP at the same SNR for every sampled tag.
+func TestScaleAssignStableUnderReEnumeration(t *testing.T) {
+	s, err := NewScale(scaleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := make([]int, s.cfg.APs)
+	rev := make([]int, s.cfg.APs)
+	for i := range fwd {
+		fwd[i] = i
+		rev[i] = s.cfg.APs - 1 - i
+	}
+	for i := 0; i < 2000; i++ {
+		x, y := s.tagPos(i)
+		apN, snrN := s.assign(x, y)
+		apF, snrF := s.assignFull(x, y, fwd)
+		apR, snrR := s.assignFull(x, y, rev)
+		if apN != apF || snrN != snrF {
+			t.Fatalf("tag %d at (%.2f,%.2f): neighbourhood (%d,%g) vs full scan (%d,%g)",
+				i, x, y, apN, snrN, apF, snrF)
+		}
+		if apF != apR || snrF != snrR {
+			t.Fatalf("tag %d at (%.2f,%.2f): forward scan (%d,%g) vs reverse scan (%d,%g)",
+				i, x, y, apF, snrF, apR, snrR)
+		}
+	}
+}
+
+// TestScaleReportTotalsConsistent checks the report's internal
+// arithmetic: per-cell aggregates must sum to the deployment totals,
+// every tag lands in exactly one tier, and every frame is accounted
+// for as delivered or lost.
+func TestScaleReportTotalsConsistent(t *testing.T) {
+	rep := runScale(t, scaleCfg())
+	var tags, ok, lost int64
+	var tier [3]int64
+	for _, c := range rep.Cells {
+		tags += c.Tags
+		ok += c.FramesOK
+		lost += c.FramesLost
+		for i := range tier {
+			tier[i] += c.TierTags[i]
+		}
+	}
+	if tags != int64(rep.Tags) {
+		t.Fatalf("cell tags sum %d != population %d", tags, rep.Tags)
+	}
+	if tier != rep.TierTags {
+		t.Fatalf("cell tier sums %v != report %v", tier, rep.TierTags)
+	}
+	if tier[0]+tier[1]+tier[2] != int64(rep.Tags) {
+		t.Fatalf("tier split %v does not cover population %d", tier, rep.Tags)
+	}
+	if ok != rep.FramesOK || lost != rep.FramesLost {
+		t.Fatalf("cell frame sums (%d,%d) != report (%d,%d)", ok, lost, rep.FramesOK, rep.FramesLost)
+	}
+	if total := rep.FramesOK + rep.FramesLost; total != int64(rep.Tags*rep.FramesPerTag) {
+		t.Fatalf("frames %d != tags*framesPerTag %d", total, rep.Tags*rep.FramesPerTag)
+	}
+	// The 32 m geometry must genuinely exercise the whole ladder.
+	for i, n := range rep.TierTags {
+		if n == 0 {
+			t.Fatalf("tier %v has no population — geometry no longer spans the ladder (%v)",
+				link.Tier(i), rep.TierTags)
+		}
+	}
+}
+
+// TestScaleRunAllocsOAPs guards the tentpole memory invariant: resident
+// allocation is O(APs), not O(tags). Doubling the population three
+// times over must not grow the per-Run allocation count (tier c's
+// per-tag hot path is allocation-free).
+func TestScaleRunAllocsOAPs(t *testing.T) {
+	tiers := link.AllBudget()
+	allocsFor := func(tags int) float64 {
+		cfg := ScaleConfig{
+			APs: 9, Cols: 3, CellM: 32,
+			Tags: tags, Seed: 4242,
+			FramesPerTag: 2,
+			ChunkSize:    tags, // one chunk: isolate per-tag from per-chunk cost
+			Tiers:        &tiers,
+		}
+		s, err := NewScale(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := allocsFor(2000)
+	large := allocsFor(16000)
+	if large > small+8 {
+		t.Fatalf("allocations scale with population: %.0f allocs at 2k tags vs %.0f at 16k",
+			small, large)
+	}
+}
+
+// TestScaleCalibrationMatchesLinkBudget is the net-level leg of the
+// calibration suite: the deployment's aggregate tier-c frame outcomes
+// must agree with the sum of each tag's closed-form success
+// probability (Poisson-binomial mean/variance, ZThreshold sigma).
+func TestScaleCalibrationMatchesLinkBudget(t *testing.T) {
+	tiers := link.AllBudget()
+	cfg := scaleCfg()
+	cfg.Tags = 3000
+	cfg.FramesPerTag = 4
+	cfg.Tiers = &tiers
+	s, err := NewScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bud link.Budget
+	mean, variance := 0.0, 0.0
+	for i := 0; i < cfg.Tags; i++ {
+		_, snrDB, _ := s.TagAssignment(i)
+		p := bud.SuccessProb(s.cfg.Rate, rfmath.FromDB(snrDB)*s.rateSNRScale, s.airBits)
+		mean += float64(cfg.FramesPerTag) * p
+		variance += float64(cfg.FramesPerTag) * p * (1 - p)
+	}
+	if variance < 25 {
+		t.Fatalf("test point not informative: variance %g too small", variance)
+	}
+	z := math.Abs(float64(rep.FramesOK)-mean) / math.Sqrt(variance)
+	if z > link.ZThreshold {
+		t.Fatalf("deployment delivered %d frames vs closed-form expectation %.1f (sigma %.1f): z=%.1f",
+			rep.FramesOK, mean, math.Sqrt(variance), z)
+	}
+}
+
+// FuzzTierSelection-style coverage for the scale geometry lives in
+// internal/link; here we fuzz the association clamp path indirectly by
+// asserting TagAssignment is total over the index space.
+func TestScaleTagAssignmentTotal(t *testing.T) {
+	s, err := NewScale(scaleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 799, 800, 12345} {
+		ap, snrDB, tier := s.TagAssignment(i)
+		if ap < 0 || ap >= s.cfg.APs {
+			t.Fatalf("tag %d assigned to invalid AP %d", i, ap)
+		}
+		if math.IsNaN(snrDB) {
+			t.Fatalf("tag %d has NaN association SNR", i)
+		}
+		if tier < link.TierWaveform || tier > link.TierBudget {
+			t.Fatalf("tag %d has invalid tier %d", i, tier)
+		}
+	}
+}

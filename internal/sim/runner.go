@@ -115,8 +115,11 @@ type runnerMetrics struct {
 	sdmGroups    *obs.Gauge      // sim_sdm_groups
 	discTime     *obs.Gauge      // sim_discovery_seconds
 	energyPerBit *obs.Gauge      // sim_energy_per_bit_joules
-	tagEnergy    *obs.GaugeVec   // tag_energy_joules{tag}
-	discoverSNR  *obs.HistogramVec
+	// tagEnergy and discoverSNR are streaming summaries, not per-tag
+	// labeled families: a deployment-scale run observes each tag once
+	// into O(1) state instead of materializing one child per tag.
+	tagEnergy   *obs.Quantile  // tag_energy_joules (summary)
+	discoverSNR *obs.Histogram // mac_discovery_snr_db
 }
 
 func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
@@ -140,11 +143,11 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 			"Simulated time the discovery phase took."),
 		energyPerBit: reg.Gauge("sim_energy_per_bit_joules",
 			"Backscatter energy per delivered bit."),
-		tagEnergy: reg.GaugeVec("tag_energy_joules",
-			"Per-tag energy consumed during the run.", "tag"),
-		discoverSNR: reg.HistogramVec("mac_discovery_snr_db",
-			"SNR measured at discovery, by tag (dB).",
-			obs.LinearBuckets(-10, 5, 14), "tag"),
+		tagEnergy: reg.Quantile("tag_energy_joules",
+			"Per-tag energy consumed during the run (reservoir-sampled p50/p90/p99)."),
+		discoverSNR: reg.Histogram("mac_discovery_snr_db",
+			"SNR measured at discovery (dB).",
+			obs.LinearBuckets(-10, 5, 14)),
 	}
 }
 
@@ -240,7 +243,7 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 			})
 		}
 		if m != nil {
-			m.discoverSNR.With(obs.U8(rec.ID)).Observe(10 * log10(rec.SNR))
+			m.discoverSNR.Observe(10 * log10(rec.SNR))
 		}
 	}
 	probeBits := 56 + 6*8*2 // header + short probe exchange, approximate
@@ -468,8 +471,12 @@ func RunInventory(n *Network, cfg InventoryConfig) (*InventoryReport, error) {
 		m.goodput.Set(rep.GoodputBps)
 		m.sdmGroups.Set(float64(rep.SDMGroups))
 		m.energyPerBit.Set(rep.EnergyPerBitJ)
-		for id, e := range rep.EnergyPerTagJ {
-			m.tagEnergy.With(obs.U8(id)).Set(e)
+		// Ascending-ID iteration keeps the summary's reservoir and sum
+		// independent of map iteration order.
+		for id := 0; id < 256; id++ {
+			if e, ok := rep.EnergyPerTagJ[uint8(id)]; ok {
+				m.tagEnergy.Observe(e)
+			}
 		}
 		rep.Metrics = cfg.Obs.Registry().Snapshot()
 	}
