@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-check fuzz docs serve-smoke
+.PHONY: check fmt vet build test race bench bench-json bench-check fuzz docs serve-smoke soak
 
 check: fmt vet build race docs
 
@@ -62,6 +62,15 @@ serve-smoke:
 	curl -sf http://127.0.0.1:19856/metrics | grep -q 'quantile="0.99"' && \
 	curl -s -m 5 http://127.0.0.1:19856/events | head -1 | grep -q '^data: '; \
 	rc=$$?; kill -INT $$pid; wait $$pid && [ $$rc -eq 0 ]
+
+# Chaos soak of the continuous-inventory daemon: ~20s of closed-loop
+# load at 2x the admission pipeline's capacity under the race detector,
+# with a fault-plan hot-swap and an invalid POST /config mid-soak.
+# Fails on any 5xx or client timeout (429 sheds are expected), a p99
+# blowout, a load-row regression against BENCH_baseline.json, or an
+# unclean SIGTERM drain. SOAK_SECONDS=5 shortens a local run.
+soak:
+	sh scripts/soak_smoke.sh
 
 # Short smoke runs of every fuzz target (Go only fuzzes one target per
 # invocation).

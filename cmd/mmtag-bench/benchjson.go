@@ -1,14 +1,13 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"mmtag/internal/benchfmt"
 	"mmtag/internal/eval"
 	"mmtag/internal/par"
 )
@@ -16,23 +15,13 @@ import (
 // BenchResult is one experiment's steady-state cost: wall time and heap
 // traffic for a full table regeneration at a fixed seed. Each field is
 // the minimum over the measurement reps, so one-time costs (FFT plan
-// construction, pool warm-up) and scheduling noise drop out.
-type BenchResult struct {
-	Name     string `json:"name"`
-	NsOp     int64  `json:"ns_op"`
-	AllocsOp uint64 `json:"allocs_op"`
-	BytesOp  uint64 `json:"bytes_op"`
-	Rows     int    `json:"rows"`
-}
+// construction, pool warm-up) and scheduling noise drop out. The wire
+// schema lives in internal/benchfmt, shared with mmtag-load's latency
+// rows.
+type BenchResult = benchfmt.Result
 
 // BenchReport is the persisted benchmark file format (BENCH_<label>.json).
-type BenchReport struct {
-	Label      string        `json:"label"`
-	GoVersion  string        `json:"go_version"`
-	Seed       int64         `json:"seed"`
-	Reps       int           `json:"reps"`
-	Benchmarks []BenchResult `json:"benchmarks"`
-}
+type BenchReport = benchfmt.Report
 
 // measureBench runs each experiment reps times on a single-worker pool
 // (serial execution keeps allocation counts deterministic) and keeps the
@@ -93,88 +82,19 @@ func measureBench(label string, ids []string, seed int64, reps int) (*BenchRepor
 // writeBenchReport renders the report as indented JSON to path
 // ("-" = stdout).
 func writeBenchReport(report *BenchReport, path string, w io.Writer) error {
-	body, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	body = append(body, '\n')
-	if path == "-" {
-		_, err = w.Write(body)
-		return err
-	}
-	if err := os.WriteFile(path, body, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote benchmark report to %s\n", path)
-	return nil
+	return benchfmt.Write(report, path, w)
 }
 
 // loadBenchReport reads a BENCH_*.json file.
 func loadBenchReport(path string) (*BenchReport, error) {
-	body, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var report BenchReport
-	if err := json.Unmarshal(body, &report); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &report, nil
+	return benchfmt.Load(path)
 }
 
-// benchNsFloor is the baseline wall time below which the ns/op check
-// is skipped: a sub-millisecond experiment is dominated by scheduler
-// and timer noise, so a percentage comparison of its minimum is
-// meaningless — one preemption doubles it. The allocation and
-// row-count gates still cover those experiments, and any real
-// slowdown large enough to matter shows up in the millisecond-scale
-// runs that exercise the same kernels.
-const benchNsFloor = int64(time.Millisecond)
-
-// compareBench checks cur against base and returns one line per
-// regression: a benchmark present in the baseline but missing from the
-// current run, a row-count change (the experiment's output shape moved),
-// an allocs/op increase beyond allocsTolPct percent, or an ns/op
-// increase beyond nsTolPct percent. nsTolPct <= 0 disables the time
-// check (wall time is machine-dependent, so CI uses a generous
-// tolerance). allocsTolPct <= 0 demands exact allocation counts; a
-// hair's breadth of tolerance (CI uses 0.01%) absorbs GC-timing noise
-// — automatic GC cycles flush sync.Pool caches mid-run at
-// schedule-dependent points, refilling them costs a handful of
-// allocations — while still catching any per-iteration leak, which
-// shows up thousands of allocations at a time.
+// compareBench checks cur against base under the shared gate rules
+// (see benchfmt.Compare); mmtag-bench only measures the eval suite, so
+// load rows in a combined baseline are out of scope here.
 func compareBench(cur, base *BenchReport, nsTolPct, allocsTolPct float64) []string {
-	byName := make(map[string]BenchResult, len(cur.Benchmarks))
-	for _, b := range cur.Benchmarks {
-		byName[b.Name] = b
-	}
-	var problems []string
-	for _, old := range base.Benchmarks {
-		now, ok := byName[old.Name]
-		if !ok {
-			problems = append(problems, fmt.Sprintf("%s: missing from current run", old.Name))
-			continue
-		}
-		if now.Rows != old.Rows {
-			problems = append(problems, fmt.Sprintf("%s: row count changed %d -> %d", old.Name, old.Rows, now.Rows))
-		}
-		allocLimit := float64(old.AllocsOp) * (1 + allocsTolPct/100)
-		if allocsTolPct <= 0 {
-			allocLimit = float64(old.AllocsOp)
-		}
-		if float64(now.AllocsOp) > allocLimit {
-			problems = append(problems, fmt.Sprintf("%s: allocs/op regressed %d -> %d",
-				old.Name, old.AllocsOp, now.AllocsOp))
-		}
-		if nsTolPct > 0 && old.NsOp >= benchNsFloor {
-			limit := float64(old.NsOp) * (1 + nsTolPct/100)
-			if float64(now.NsOp) > limit {
-				problems = append(problems, fmt.Sprintf("%s: ns/op regressed %d -> %d (>%g%% over baseline)",
-					old.Name, old.NsOp, now.NsOp, nsTolPct))
-			}
-		}
-	}
-	return problems
+	return benchfmt.Compare(cur, base, nsTolPct, allocsTolPct)
 }
 
 // runBenchJSON is the -benchjson / -benchcompare entry point: measure,

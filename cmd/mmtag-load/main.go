@@ -1,0 +1,402 @@
+// Command mmtag-load is the closed-loop load generator for
+// mmtag-serve: N workers replay a weighted query mix against the
+// daemon's REST surface, each issuing its next request only after the
+// previous one resolves, with per-request timeouts and jittered
+// exponential-backoff retries spent from a global retry budget.
+//
+// Usage:
+//
+//	mmtag-load -url http://127.0.0.1:8080 -workers 8 -duration 20s
+//	mmtag-load -url ... -mix tags=1,tag=4,report=1 -timeout 500ms
+//	mmtag-load -url ... -benchjson BENCH_load.json -benchcompare BENCH_baseline.json
+//	mmtag-load -url ... -max-5xx 0 -max-p99 250ms
+//
+// Responses are classified as ok (2xx), shed (429 — the daemon's
+// admission control working as designed, never an error), server_error
+// (5xx), client_error (other 4xx), or timeout (deadline/transport
+// failures). Latency is tracked by a streaming reservoir quantile
+// (p50/p90/p99), throughput as completed requests per second.
+//
+// -benchjson writes a benchfmt row in the "load" suite: ns_op carries
+// the p99 latency, bytes_op the p50, rows the count of server errors
+// plus timeouts — so a BENCH_baseline.json row with rows=0 turns any
+// 5xx into an exact-gate regression via -benchcompare. -max-5xx and
+// -max-p99 are the direct CI enforcement knobs: the exit code goes
+// nonzero when either bound is exceeded.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmtag/internal/benchfmt"
+	"mmtag/internal/obs"
+)
+
+// options collects the CLI parameters run needs.
+type options struct {
+	url          string
+	workers      int
+	duration     time.Duration
+	mix          string
+	timeout      time.Duration
+	retries      int
+	retryBudget  float64
+	backoffBase  time.Duration
+	backoffCap   time.Duration
+	tags         int
+	seed         int64
+	benchJSON    string
+	benchCompare string
+	benchLabel   string
+	benchNsTol   float64
+	benchName    string
+	max5xx       int
+	maxP99       time.Duration
+	out          io.Writer
+}
+
+// route is one entry of the query mix.
+type route struct {
+	name   string
+	weight int
+	path   func(rng *rand.Rand) string
+}
+
+// parseMix turns "tags=1,tag=4,report=1" into a weighted route table.
+func parseMix(spec string, tags int) ([]route, error) {
+	paths := map[string]func(*rand.Rand) string{
+		"tags":   func(*rand.Rand) string { return "/v1/tags" },
+		"tag":    func(rng *rand.Rand) string { return "/v1/tags/" + strconv.Itoa(1+rng.Intn(max(tags, 1))) },
+		"report": func(*rand.Rand) string { return "/v1/report" },
+		"status": func(*rand.Rand) string { return "/v1/status" },
+	}
+	var routes []route
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, valStr, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not name=weight", kv)
+		}
+		p, known := paths[key]
+		if !known {
+			return nil, fmt.Errorf("mix route %q (want tags, tag, report or status)", key)
+		}
+		w, err := strconv.Atoi(valStr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q for %s", valStr, key)
+		}
+		if w > 0 {
+			routes = append(routes, route{name: key, weight: w, path: p})
+		}
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("mix %q selects no routes", spec)
+	}
+	return routes, nil
+}
+
+// pick draws one route proportionally to weight.
+func pick(routes []route, rng *rand.Rand) route {
+	total := 0
+	for _, r := range routes {
+		total += r.weight
+	}
+	n := rng.Intn(total)
+	for _, r := range routes {
+		if n < r.weight {
+			return r
+		}
+		n -= r.weight
+	}
+	return routes[len(routes)-1]
+}
+
+// loadStats aggregates the run across workers. Counters are atomic;
+// the latency reservoir (obs.Quantile) is internally synchronized.
+type loadStats struct {
+	attempts  atomic.Int64 // requests issued, retries included
+	completed atomic.Int64 // requests that got any HTTP response
+	ok        atomic.Int64
+	shed      atomic.Int64 // 429: admission control, not an error
+	server5xx atomic.Int64
+	client4xx atomic.Int64
+	timeouts  atomic.Int64 // deadline or transport failure
+	retries   atomic.Int64
+	latency   *obs.Quantile
+}
+
+// classify folds one response (or transport error) into the stats and
+// reports whether the attempt should be retried.
+func (s *loadStats) classify(code int, err error) (retryable bool) {
+	if err != nil {
+		s.timeouts.Add(1)
+		return true
+	}
+	s.completed.Add(1)
+	switch {
+	case code >= 200 && code < 300:
+		s.ok.Add(1)
+		return false
+	case code == http.StatusTooManyRequests:
+		s.shed.Add(1)
+		return true
+	case code >= 500:
+		s.server5xx.Add(1)
+		return true
+	default:
+		s.client4xx.Add(1)
+		return false
+	}
+}
+
+// retryBudget is the global token pool bounding retry amplification:
+// a retry is allowed only while retries so far stay under ratio × the
+// requests issued so far, so a dying server sees load shrink instead
+// of a 3× retry storm.
+type retryBudget struct {
+	ratio    float64
+	stats    *loadStats
+	declined atomic.Int64
+}
+
+func (b *retryBudget) allow() bool {
+	if b.ratio <= 0 {
+		return false
+	}
+	if float64(b.stats.retries.Load()+1) > b.ratio*float64(b.stats.attempts.Load()) {
+		b.declined.Add(1)
+		return false
+	}
+	b.stats.retries.Add(1)
+	return true
+}
+
+// backoff sleeps the jittered exponential delay for retry attempt n
+// (0-based), honoring a Retry-After hint when the server sent one.
+func backoff(rng *rand.Rand, base, cap time.Duration, n int, retryAfter time.Duration, done <-chan struct{}) {
+	d := base << uint(n)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	// Full jitter in [d/2, d): desynchronizes workers that shed together.
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	select {
+	case <-time.After(d):
+	case <-done:
+	}
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.url, "url", "http://127.0.0.1:8080", "base URL of the mmtag-serve daemon")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "closed-loop worker count")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to generate load")
+	flag.StringVar(&o.mix, "mix", "tags=2,tag=4,report=1,status=1", "weighted query mix: name=weight[,name=weight...]")
+	flag.DurationVar(&o.timeout, "timeout", time.Second, "per-request deadline")
+	flag.IntVar(&o.retries, "retries", 2, "max retries per request (retryable failures only)")
+	flag.Float64Var(&o.retryBudget, "retry-budget", 0.2, "global retry budget: retries may not exceed this fraction of requests issued (0 disables retries)")
+	flag.DurationVar(&o.backoffBase, "backoff", 25*time.Millisecond, "base retry backoff (doubles per retry, full jitter)")
+	flag.DurationVar(&o.backoffCap, "backoff-cap", time.Second, "retry backoff ceiling")
+	flag.IntVar(&o.tags, "tags", 64, "tag ID range for the tag route (IDs 1..tags)")
+	flag.Int64Var(&o.seed, "seed", 1, "RNG seed for the query mix")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "write a load-suite benchmark report here (- for stdout)")
+	flag.StringVar(&o.benchCompare, "benchcompare", "", "gate the run against this BENCH_*.json baseline")
+	flag.StringVar(&o.benchLabel, "bench-label", "load", "label for -benchjson")
+	flag.Float64Var(&o.benchNsTol, "benchnstol", 400, "p99 regression tolerance percent for -benchcompare (wall time is machine-dependent)")
+	flag.StringVar(&o.benchName, "bench-name", "LOAD/inventory-mix", "row name for -benchjson")
+	flag.IntVar(&o.max5xx, "max-5xx", -1, "fail when server errors + timeouts exceed this (-1 disables)")
+	flag.DurationVar(&o.maxP99, "max-p99", 0, "fail when p99 latency exceeds this (0 disables)")
+	flag.Parse()
+	o.out = os.Stdout
+
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "mmtag-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if o.out == nil {
+		o.out = os.Stdout
+	}
+	if o.workers < 1 {
+		return fmt.Errorf("workers must be >= 1, got %d", o.workers)
+	}
+	routes, err := parseMix(o.mix, o.tags)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(o.url, "/")
+
+	stats := &loadStats{latency: obs.NewRegistry().Quantile("load_request_seconds", "End-to-end request latency.")}
+	budget := &retryBudget{ratio: o.retryBudget, stats: stats}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.workers}}
+	done := make(chan struct{})
+	time.AfterFunc(o.duration, func() { close(done) })
+
+	fmt.Fprintf(o.out, "mmtag-load: %d workers against %s for %s (mix %s)\n",
+		o.workers, base, o.duration, o.mix)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				worker(client, base, pick(routes, rng), o, stats, budget, rng, done)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return report(o, stats, budget, elapsed)
+}
+
+// worker issues one logical request: the initial attempt plus backoff
+// retries while the budget allows.
+func worker(client *http.Client, base string, rt route, o options, stats *loadStats, budget *retryBudget, rng *rand.Rand, done <-chan struct{}) {
+	url := base + rt.path(rng)
+	for attempt := 0; ; attempt++ {
+		stats.attempts.Add(1)
+		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+		code, retryAfter, reqStart := 0, time.Duration(0), time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err == nil {
+			var resp *http.Response
+			resp, err = client.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				code = resp.StatusCode
+				if s, convErr := strconv.Atoi(resp.Header.Get("Retry-After")); convErr == nil {
+					retryAfter = time.Duration(s) * time.Second
+				}
+			}
+		}
+		cancel()
+		if err == nil {
+			stats.latency.Observe(time.Since(reqStart).Seconds())
+		}
+		retryable := stats.classify(code, err)
+		if !retryable || attempt >= o.retries || !budget.allow() {
+			return
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+		backoff(rng, o.backoffBase, o.backoffCap, attempt, retryAfter, done)
+	}
+}
+
+// report prints the aggregate, writes/gates the benchmark row, and
+// enforces -max-5xx / -max-p99.
+func report(o options, stats *loadStats, budget *retryBudget, elapsed time.Duration) error {
+	p50 := stats.latency.Value(0.5)
+	p90 := stats.latency.Value(0.9)
+	p99 := stats.latency.Value(0.99)
+	qps := float64(stats.completed.Load()) / elapsed.Seconds()
+	errRows := int(stats.server5xx.Load() + stats.timeouts.Load())
+
+	w := o.out
+	fmt.Fprintf(w, "\nresults (%s):\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  attempts      %d (%d retries, %d declined by budget)\n",
+		stats.attempts.Load(), stats.retries.Load(), budget.declined.Load())
+	fmt.Fprintf(w, "  ok            %d\n", stats.ok.Load())
+	fmt.Fprintf(w, "  shed (429)    %d\n", stats.shed.Load())
+	fmt.Fprintf(w, "  client errors %d\n", stats.client4xx.Load())
+	fmt.Fprintf(w, "  server errors %d\n", stats.server5xx.Load())
+	fmt.Fprintf(w, "  timeouts      %d\n", stats.timeouts.Load())
+	fmt.Fprintf(w, "  throughput    %.1f req/s\n", qps)
+	fmt.Fprintf(w, "  latency       p50 %.2fms  p90 %.2fms  p99 %.2fms\n", p50*1e3, p90*1e3, p99*1e3)
+
+	var gateErrs []string
+	if o.benchJSON != "" || o.benchCompare != "" {
+		rep := &benchfmt.Report{
+			Label:     o.benchLabel,
+			GoVersion: runtime.Version(),
+			Seed:      o.seed,
+			Reps:      1,
+			Benchmarks: []benchfmt.Result{{
+				Name:    o.benchName,
+				Suite:   "load",
+				NsOp:    int64(maxf(p99, 0) * 1e9),
+				BytesOp: uint64(maxf(p50, 0) * 1e9),
+				Rows:    errRows,
+			}},
+		}
+		if o.benchJSON != "" {
+			if err := benchfmt.Write(rep, o.benchJSON, w); err != nil {
+				return err
+			}
+		}
+		if o.benchCompare != "" {
+			baseRep, err := benchfmt.Load(o.benchCompare)
+			if err != nil {
+				return err
+			}
+			problems := benchfmt.Compare(rep, baseRep, o.benchNsTol, 0)
+			if len(problems) == 0 {
+				fmt.Fprintf(w, "load gate: within baseline %s\n", o.benchCompare)
+			} else {
+				gateErrs = append(gateErrs, problems...)
+			}
+		}
+	}
+	if o.max5xx >= 0 && errRows > o.max5xx {
+		gateErrs = append(gateErrs, fmt.Sprintf("server errors + timeouts = %d, max-5xx %d", errRows, o.max5xx))
+	}
+	if o.maxP99 > 0 && time.Duration(p99*1e9) > o.maxP99 {
+		gateErrs = append(gateErrs, fmt.Sprintf("p99 = %.2fms, max-p99 %s", p99*1e3, o.maxP99))
+	}
+	if stats.completed.Load() == 0 {
+		gateErrs = append(gateErrs, "no request ever completed")
+	}
+	if len(gateErrs) > 0 {
+		sort.Strings(gateErrs)
+		return fmt.Errorf("load gate failed:\n  %s", strings.Join(gateErrs, "\n  "))
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mmtag/internal/benchfmt"
+)
+
+func TestParseMix(t *testing.T) {
+	routes, err := parseMix("tags=1,tag=4,report=1", 64)
+	if err != nil || len(routes) != 3 {
+		t.Fatalf("parseMix = %v, %v", routes, err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if p := routes[1].path(rng); !strings.HasPrefix(p, "/v1/tags/") {
+		t.Errorf("tag route path = %q", p)
+	}
+	for _, bad := range []string{"", "tags", "bogus=1", "tags=x", "tags=0"} {
+		if _, err := parseMix(bad, 64); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	// Weight 0 drops a route but the rest survive.
+	routes, err = parseMix("tags=0,report=2", 64)
+	if err != nil || len(routes) != 1 || routes[0].name != "report" {
+		t.Fatalf("zero-weight mix = %v, %v", routes, err)
+	}
+}
+
+// TestRunAgainstHealthyServer drives the full closed loop against a
+// stub daemon and checks the report plus the written load-suite row.
+func TestRunAgainstHealthyServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	benchPath := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var out bytes.Buffer
+	err := run(options{
+		url:         srv.URL,
+		workers:     4,
+		duration:    300 * time.Millisecond,
+		mix:         "tags=1,tag=1,report=1,status=1",
+		timeout:     time.Second,
+		retries:     1,
+		retryBudget: 0.2,
+		backoffBase: time.Millisecond,
+		backoffCap:  10 * time.Millisecond,
+		tags:        8,
+		seed:        7,
+		benchJSON:   benchPath,
+		max5xx:      0,
+		out:         &out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "throughput") || !strings.Contains(s, "p99") {
+		t.Errorf("report missing latency/throughput:\n%s", s)
+	}
+	rep, err := benchfmt.Load(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("bench rows = %+v", rep.Benchmarks)
+	}
+	row := rep.Benchmarks[0]
+	if row.Suite != "load" || row.Rows != 0 || row.NsOp <= 0 {
+		t.Fatalf("load row = %+v", row)
+	}
+
+	// The row gates cleanly against itself as a baseline.
+	var gateOut bytes.Buffer
+	err = run(options{
+		url: srv.URL, workers: 2, duration: 200 * time.Millisecond,
+		mix: "tags=1", timeout: time.Second, tags: 8, seed: 7,
+		benchCompare: benchPath, benchNsTol: 10_000, max5xx: 0,
+		out: &gateOut,
+	})
+	if err != nil {
+		t.Fatalf("self-gate: %v\n%s", err, gateOut.String())
+	}
+}
+
+// TestRunFlags5xxAndShedding pins the error-classing: 5xx responses
+// trip -max-5xx and land in the bench row's Rows, while 429s are
+// counted as shed and never fail the gate.
+func TestRunFlags5xxAndShedding(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) % 3 {
+		case 0:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+		case 1:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			fmt.Fprint(w, "ok")
+		}
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run(options{
+		url: srv.URL, workers: 2, duration: 200 * time.Millisecond,
+		mix: "tags=1", timeout: time.Second, retries: 0,
+		tags: 8, seed: 1, max5xx: 0, out: &out,
+	})
+	if err == nil || !strings.Contains(err.Error(), "max-5xx") {
+		t.Fatalf("5xx run err = %v\n%s", err, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "shed (429)") {
+		t.Errorf("report missing shed class:\n%s", s)
+	}
+
+	// Same server, gate disabled: the run succeeds and reports the
+	// errors without failing.
+	out.Reset()
+	err = run(options{
+		url: srv.URL, workers: 2, duration: 150 * time.Millisecond,
+		mix: "tags=1", timeout: time.Second, retries: 0,
+		tags: 8, seed: 1, max5xx: -1, out: &out,
+	})
+	if err != nil {
+		t.Fatalf("ungated run: %v\n%s", err, out.String())
+	}
+}
+
+// TestRetryBudgetBoundsAmplification floods a server that always
+// sheds: with a 20% budget the retry count must stay at or under 20%
+// of the attempts.
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run(options{
+		url: srv.URL, workers: 4, duration: 250 * time.Millisecond,
+		mix: "tags=1", timeout: time.Second, retries: 5, retryBudget: 0.2,
+		backoffBase: time.Millisecond, backoffCap: 4 * time.Millisecond,
+		tags: 8, seed: 1, max5xx: -1, out: &out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var attempts, retries int64
+	if _, err := fmt.Sscanf(firstLineWith(out.String(), "attempts"), "  attempts      %d (%d retries,", &attempts, &retries); err != nil {
+		t.Fatalf("cannot parse attempts line: %v\n%s", err, out.String())
+	}
+	if attempts == 0 {
+		t.Fatal("no attempts issued")
+	}
+	if float64(retries) > 0.2*float64(attempts)+1 {
+		t.Errorf("retry budget breached: %d retries of %d attempts", retries, attempts)
+	}
+}
+
+// TestMaxP99Gate trips the latency bound against a deliberately slow
+// server.
+func TestMaxP99Gate(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(30 * time.Millisecond)
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run(options{
+		url: srv.URL, workers: 2, duration: 200 * time.Millisecond,
+		mix: "tags=1", timeout: time.Second,
+		tags: 8, seed: 1, max5xx: -1, maxP99: time.Millisecond, out: &out,
+	})
+	if err == nil || !strings.Contains(err.Error(), "max-p99") {
+		t.Fatalf("p99 gate err = %v\n%s", err, out.String())
+	}
+}
+
+func firstLineWith(s, substr string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	return ""
+}

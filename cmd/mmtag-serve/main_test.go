@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mmtag/internal/serve"
+)
+
+func testOptions() options {
+	return options{
+		addr:           "127.0.0.1:0",
+		aps:            2,
+		tags:           8,
+		seed:           42,
+		duration:       0.02,
+		epochs:         2,
+		mobile:         0.25,
+		epochInterval:  5 * time.Millisecond,
+		drainTimeout:   5 * time.Second,
+		queue:          32,
+		concurrency:    8,
+		requestTimeout: 2 * time.Second,
+		handoffLog:     64,
+		parallel:       2,
+	}
+}
+
+// TestRunServesAndDrains boots the daemon through the CLI path, hits
+// the REST surface, drains via the test hook, and checks the final
+// metrics flush.
+func TestRunServesAndDrains(t *testing.T) {
+	o := testOptions()
+	metricsPath := filepath.Join(t.TempDir(), "final.prom")
+	o.metrics = metricsPath
+	var out bytes.Buffer
+	o.out = &out
+	o.wait = func(d *serve.Daemon) bool {
+		resp, err := http.Get(d.URL() + "/v1/tags")
+		if err != nil {
+			t.Errorf("GET /v1/tags: %v", err)
+		} else {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 || !strings.Contains(string(body), `"tags"`) {
+				t.Errorf("/v1/tags = %d %q", resp.StatusCode, body)
+			}
+		}
+		return d.Drain()
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "drained cleanly") {
+		t.Errorf("missing drain confirmation:\n%s", s)
+	}
+	body, err := readFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serve_epochs_total", "serve_requests_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("final metrics flush missing %s", want)
+		}
+	}
+}
+
+// TestRunRejectsBadConfig pins startup validation: a bad fault spec
+// and an invalid deployment both fail before any listener binds.
+func TestRunRejectsBadConfig(t *testing.T) {
+	o := testOptions()
+	o.faults = "bogus=1"
+	o.out = io.Discard
+	if err := run(o); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+	o = testOptions()
+	o.tags = 0
+	o.out = io.Discard
+	if err := run(o); err == nil {
+		t.Error("tags=0 accepted")
+	}
+}
+
+// TestRunReportsForcedDrain maps an unclean drain to a CLI error.
+func TestRunReportsForcedDrain(t *testing.T) {
+	o := testOptions()
+	o.out = io.Discard
+	o.wait = func(d *serve.Daemon) bool {
+		d.Drain() // shut the daemon down, then report the drain as forced
+		return false
+	}
+	err := run(o)
+	if err == nil || !strings.Contains(err.Error(), "drain deadline") {
+		t.Fatalf("forced drain err = %v", err)
+	}
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -95,98 +95,20 @@ func (d *Deployment) coChannel(a, b int) bool {
 }
 
 // Run simulates the deployment: Epochs rounds of (move tags,
-// re-associate, run every AP cell concurrently on the pool). Output is
-// a pure function of the configuration — cells write into indexed
-// slots and all cross-cell state (association, handoffs, metrics) is
-// updated serially between epochs, so any worker count produces the
-// identical Report.
+// re-associate, run every AP cell concurrently on the pool), driven by
+// a Runner stepping once per epoch. Output is a pure function of the
+// configuration — cells write into indexed slots and all cross-cell
+// state (association, handoffs, metrics) is updated serially between
+// epochs, so any worker count produces the identical Report.
 func (d *Deployment) Run() (*Report, error) {
-	cfg := d.cfg
-	rep := &Report{
-		APs:    cfg.APs,
-		Rows:   d.rows,
-		Cols:   d.cols,
-		Tags:   cfg.Tags,
-		Epochs: cfg.Epochs,
-		Cells:  make([]CellReport, cfg.APs),
-	}
-	for c := range rep.Cells {
-		rep.Cells[c].AP = c
-	}
-	// Announce the initial associations (epoch 0) before any cell runs.
-	for _, t := range d.tags {
-		d.emitAssoc(0, t.id, t.serving, d.snrEstDB(t.serving, t.pos))
-	}
-
-	epochDur := cfg.Duration / float64(cfg.Epochs)
-	prevPolls := make([]int, cfg.APs)
-	for e := 0; e < cfg.Epochs; e++ {
-		if e > 0 {
-			d.step()
-			hs := d.reassociate(e, prevPolls)
-			rep.Handoffs = append(rep.Handoffs, hs...)
-			for _, h := range hs {
-				rep.DuplicatePolls += h.DupPolls
-			}
-		}
-		rosters := make([][]*tagState, cfg.APs)
-		for _, t := range d.tags {
-			rosters[t.serving] = append(rosters[t.serving], t)
-		}
-		cellReps := make([]*sim.InventoryReport, cfg.APs)
-		cellWall := make([]time.Duration, cfg.APs)
-		epoch := e
-		if err := cfg.Pool.Map(nil, cfg.APs, func(c int) error {
-			start := time.Now()
-			var err error
-			cellReps[c], err = d.runCell(epoch, c, epochDur, rosters)
-			cellWall[c] = time.Since(start)
-			return err
-		}); err != nil {
-			return nil, fmt.Errorf("net: epoch %d: %w", e, err)
-		}
-		// Per-cell cost accounting, emitted serially in AP index order
-		// so the trace stays schedule-independent (the wall values vary
-		// run to run; the event sequence does not).
-		for c := 0; c < cfg.APs; c++ {
-			if d.m != nil {
-				d.m.epochWall.Observe(cellWall[c].Seconds())
-			}
-			if tr := cfg.Trace; tr != nil && cfg.CostSpans {
-				tr.Emit(trace.Event{
-					T:      float64(e) * epochDur,
-					Kind:   trace.KindSpan,
-					Span:   "cell-epoch",
-					Detail: fmt.Sprintf("ap=%d epoch=%d", c, e),
-					Dur:    epochDur,
-					WallNs: cellWall[c].Nanoseconds(),
-				})
-			}
-		}
-		// Fold cell results serially, in AP index order.
-		for c := 0; c < cfg.APs; c++ {
-			cr := cellReps[c]
-			prevPolls[c] = cr.PollCycles
-			cell := &rep.Cells[c]
-			cell.TagsServed = len(rosters[c])
-			cell.Discovered = cr.Discovered
-			cell.PollCycles += cr.PollCycles
-			cell.FramesOK += cr.FramesOK
-			cell.FramesLost += cr.FramesLost
-			cell.GoodputBps += cr.GoodputBps / float64(cfg.Epochs)
-			rep.FramesOK += cr.FramesOK
-			rep.FramesLost += cr.FramesLost
-			if e == cfg.Epochs-1 {
-				rep.Discovered += cr.Discovered
-			}
-			// Health verdicts feed the next epoch's handoff decisions.
-			for _, t := range rosters[c] {
-				if h, ok := cr.TagHealth[t.id]; ok {
-					t.suspect = h != mac.HealthActive
-				}
-			}
+	r := d.Runner(0)
+	for e := 0; e < d.cfg.Epochs; e++ {
+		if err := r.Step(); err != nil {
+			return nil, err
 		}
 	}
+	rep := r.rep
+	rep.Discovered = r.lastDisc
 	for c := range rep.Cells {
 		rep.AggregateGoodputBps += rep.Cells[c].GoodputBps
 		if d.m != nil {
@@ -194,6 +116,46 @@ func (d *Deployment) Run() (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// runEpochCells fans one epoch's cell inventories out across the pool
+// and returns the per-cell reports and wall-clock costs in AP index
+// order.
+func (d *Deployment) runEpochCells(epoch int, epochDur float64, rosters [][]*tagState) ([]*sim.InventoryReport, []time.Duration, error) {
+	cfg := d.cfg
+	cellReps := make([]*sim.InventoryReport, cfg.APs)
+	cellWall := make([]time.Duration, cfg.APs)
+	if err := cfg.Pool.Map(nil, cfg.APs, func(c int) error {
+		start := time.Now()
+		var err error
+		cellReps[c], err = d.runCell(epoch, c, epochDur, rosters)
+		cellWall[c] = time.Since(start)
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	return cellReps, cellWall, nil
+}
+
+// emitEpochCost records the per-cell cost accounting, serially in AP
+// index order so the trace stays schedule-independent (the wall values
+// vary run to run; the event sequence does not).
+func (d *Deployment) emitEpochCost(epoch int, epochDur float64, cellWall []time.Duration) {
+	for c := 0; c < d.cfg.APs; c++ {
+		if d.m != nil {
+			d.m.epochWall.Observe(cellWall[c].Seconds())
+		}
+		if tr := d.cfg.Trace; tr != nil && d.cfg.CostSpans {
+			tr.Emit(trace.Event{
+				T:      float64(epoch) * epochDur,
+				Kind:   trace.KindSpan,
+				Span:   "cell-epoch",
+				Detail: fmt.Sprintf("ap=%d epoch=%d", c, epoch),
+				Dur:    epochDur,
+				WallNs: cellWall[c].Nanoseconds(),
+			})
+		}
+	}
 }
 
 // runCell simulates one AP cell for one epoch: a fresh Network holding

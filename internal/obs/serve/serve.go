@@ -47,6 +47,25 @@ type Config struct {
 	// before live ones (default 64, 0 keeps the default; negative
 	// disables replay).
 	Replay int
+	// StallDeadline is how long a subscriber's buffer may stay full
+	// (every publish dropping) before the subscriber is evicted and its
+	// ring slot reclaimed (default 15s). Without it a dead client that
+	// never reads holds its slot forever.
+	StallDeadline time.Duration
+	// ReadHeaderTimeout, WriteTimeout, IdleTimeout and MaxHeaderBytes
+	// harden the listener against slow-loris clients (defaults 5s, 30s,
+	// 120s, 1 MiB). The SSE stream and the pprof profilers clear their
+	// per-request write deadline, so WriteTimeout only bounds the
+	// request/response endpoints.
+	ReadHeaderTimeout time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	MaxHeaderBytes    int
+	// Mount, when non-nil, registers extra routes on the server's mux
+	// before it starts serving — the hook the inventory daemon
+	// (internal/serve) uses to add its REST endpoints to this
+	// observability surface.
+	Mount func(mux *http.ServeMux)
 }
 
 // Server is a live observability endpoint. Start it with Start; stop
@@ -67,15 +86,24 @@ type Server struct {
 
 	published *obs.Counter // serve_events_published_total
 	dropped   *obs.Counter // serve_events_dropped_total
+	evicted   *obs.Counter // serve_sse_evicted_total
 	scrapes   *obs.Counter // serve_metrics_scrapes_total
 	subGauge  *obs.Gauge   // serve_sse_subscribers
 }
 
-// subscriber is one /events client: a bounded channel plus the count
-// of events fan-out had to drop while the channel was full.
+// subscriber is one /events client: a bounded channel, the count of
+// events fan-out had to drop while the channel was full, and the stall
+// tracking that evicts it when the channel never drains.
 type subscriber struct {
 	ch      chan trace.Event
 	dropped atomic.Int64
+	// stalledAt is when the current run of consecutive drops began
+	// (UnixNano; 0 = not stalled). A successful send resets it.
+	stalledAt atomic.Int64
+	// gone is closed exactly once when the broker evicts the
+	// subscriber; the handler exits on it.
+	gone    chan struct{}
+	evicted atomic.Bool
 }
 
 // Start listens on cfg.Addr and serves in a background goroutine.
@@ -85,6 +113,21 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if cfg.Replay == 0 {
 		cfg.Replay = 64
+	}
+	if cfg.StallDeadline <= 0 {
+		cfg.StallDeadline = 15 * time.Second
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 120 * time.Second
+	}
+	if cfg.MaxHeaderBytes <= 0 {
+		cfg.MaxHeaderBytes = 1 << 20
 	}
 	addr := cfg.Addr
 	if addr == "" {
@@ -111,6 +154,8 @@ func Start(cfg Config) (*Server, error) {
 			"Trace events published to the SSE broker.")
 		s.dropped = reg.Counter("serve_events_dropped_total",
 			"Trace events dropped across all SSE subscribers (full buffers).")
+		s.evicted = reg.Counter("serve_sse_evicted_total",
+			"SSE subscribers evicted after their buffer stayed full past the stall deadline.")
 		s.scrapes = reg.Counter("serve_metrics_scrapes_total",
 			"Scrapes of the /metrics endpoint.")
 		s.subGauge = reg.Gauge("serve_sse_subscribers",
@@ -125,14 +170,35 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	// The CPU/trace profilers stream for their whole sampling window, so
+	// they clear the write deadline like the SSE stream does.
+	mux.HandleFunc("/debug/pprof/", noWriteDeadline(pprof.Index))
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/profile", noWriteDeadline(pprof.Profile))
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.httpSrv = &http.Server{Handler: mux}
+	mux.HandleFunc("/debug/pprof/trace", noWriteDeadline(pprof.Trace))
+	if cfg.Mount != nil {
+		cfg.Mount(mux)
+	}
+	s.httpSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+		MaxHeaderBytes:    cfg.MaxHeaderBytes,
+	}
 	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
+}
+
+// noWriteDeadline exempts a streaming handler from the server-wide
+// WriteTimeout by clearing the connection's write deadline for this
+// response only.
+func noWriteDeadline(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		http.NewResponseController(w).SetWriteDeadline(time.Time{}) //nolint:errcheck // best effort
+		h(w, r)
+	}
 }
 
 // Addr returns the resolved listen address (useful with a ":0" port).
@@ -144,7 +210,10 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 // Publish fans one trace event out to every subscriber. Slow
 // subscribers lose it (accounted per subscriber and in
 // serve_events_dropped_total); Publish itself never blocks, so it is
-// safe on the simulation's emit path.
+// safe on the simulation's emit path. A subscriber whose buffer stays
+// full for the whole stall deadline is evicted: its ring slot is
+// reclaimed immediately instead of shedding every future event into a
+// dead channel forever.
 func (s *Server) Publish(e trace.Event) {
 	s.mu.Lock()
 	if s.cfg.Replay > 0 {
@@ -153,20 +222,43 @@ func (s *Server) Publish(e trace.Event) {
 			s.ring = s.ring[len(s.ring)-s.cfg.Replay:]
 		}
 	}
-	targets := make([]*subscriber, 0, len(s.subs))
-	for _, sub := range s.subs {
-		targets = append(targets, sub)
+	type target struct {
+		id  int
+		sub *subscriber
+	}
+	targets := make([]target, 0, len(s.subs))
+	for id, sub := range s.subs {
+		targets = append(targets, target{id, sub})
 	}
 	s.mu.Unlock()
 	s.published.Inc()
-	for _, sub := range targets {
+	now := time.Now().UnixNano()
+	for _, t := range targets {
 		select {
-		case sub.ch <- e:
+		case t.sub.ch <- e:
+			t.sub.stalledAt.Store(0)
 		default:
-			sub.dropped.Add(1)
+			t.sub.dropped.Add(1)
 			s.dropped.Inc()
+			since := t.sub.stalledAt.Load()
+			if since == 0 {
+				t.sub.stalledAt.CompareAndSwap(0, now)
+			} else if now-since >= int64(s.cfg.StallDeadline) {
+				s.evict(t.id, t.sub)
+			}
 		}
 	}
+}
+
+// evict removes a stalled subscriber from the fan-out set and releases
+// its handler. Idempotent: Publish may race the handler's own exit.
+func (s *Server) evict(id int, sub *subscriber) {
+	if !sub.evicted.CompareAndSwap(false, true) {
+		return
+	}
+	s.unsubscribe(id)
+	s.evicted.Inc()
+	close(sub.gone)
 }
 
 // Close shuts the server down: in-flight SSE streams are released and
@@ -197,7 +289,10 @@ func (s *Server) WaitSignal(w io.Writer) {
 // subscribe registers a new SSE client and returns its id, channel and
 // the replay backlog.
 func (s *Server) subscribe() (int, *subscriber, []trace.Event) {
-	sub := &subscriber{ch: make(chan trace.Event, s.cfg.EventBuffer)}
+	sub := &subscriber{
+		ch:   make(chan trace.Event, s.cfg.EventBuffer),
+		gone: make(chan struct{}),
+	}
 	s.mu.Lock()
 	id := s.nextSub
 	s.nextSub++
@@ -208,12 +303,17 @@ func (s *Server) subscribe() (int, *subscriber, []trace.Event) {
 	return id, sub, replay
 }
 
-// unsubscribe removes an SSE client.
+// unsubscribe removes an SSE client. The gauge only moves when the id
+// was still registered, so an evicted subscriber's deferred
+// unsubscribe does not double-count.
 func (s *Server) unsubscribe(id int) {
 	s.mu.Lock()
+	_, present := s.subs[id]
 	delete(s.subs, id)
 	s.mu.Unlock()
-	s.subGauge.Add(-1)
+	if present {
+		s.subGauge.Add(-1)
+	}
 }
 
 // handleMetrics renders the registry in Prometheus text exposition
@@ -251,6 +351,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
+	// The stream outlives any sane WriteTimeout; slow consumers are
+	// handled by the bounded buffer + stall eviction instead.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{}) //nolint:errcheck // best effort
 	id, sub, replay := s.subscribe()
 	defer s.unsubscribe(id)
 	for _, e := range replay {
@@ -264,6 +367,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-s.done:
+			return
+		case <-sub.gone:
+			// Evicted by the broker: announce and hang up.
+			fmt.Fprintf(w, "event: evicted\ndata: {\"dropped\":%d}\n\n", sub.dropped.Load())
+			fl.Flush()
 			return
 		case e := <-sub.ch:
 			if d := sub.dropped.Swap(0); d > 0 {

@@ -176,6 +176,135 @@ func TestSlowSubscriberDropsAreAccounted(t *testing.T) {
 	}
 }
 
+// counterValue digs one counter out of a registry snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, f := range reg.Snapshot().Families {
+		if f.Name == name && len(f.Metrics) > 0 {
+			return f.Metrics[0].Value
+		}
+	}
+	return 0
+}
+
+// TestStalledSubscriberIsEvicted pins the stall eviction: a subscriber
+// that never reads is dropped-on, then evicted once its buffer has
+// stayed full past the stall deadline — releasing its ring slot and
+// terminating its stream with an `evicted` SSE event.
+func TestStalledSubscriberIsEvicted(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := startTestServer(t, Config{
+		Registry:      reg,
+		EventBuffer:   2,
+		Replay:        -1,
+		StallDeadline: 50 * time.Millisecond,
+	})
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Wait for the subscription to register before flooding.
+	deadline := time.Now().Add(5 * time.Second)
+	for counterValue(t, reg, "serve_sse_subscribers") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Flood without reading. Events are large enough to jam the kernel
+	// socket buffers, so the handler blocks mid-write, the channel (2)
+	// stays full, and after the 50ms stall deadline the broker must
+	// evict.
+	big := strings.Repeat("x", 64<<10)
+	for i := 0; i < 1000 && counterValue(t, reg, "serve_sse_evicted_total") == 0; i++ {
+		s.Publish(trace.Event{T: float64(i), Kind: trace.KindCustom, Detail: big})
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := counterValue(t, reg, "serve_sse_evicted_total"); got != 1 {
+		t.Fatalf("serve_sse_evicted_total = %g, want 1", got)
+	}
+	if got := counterValue(t, reg, "serve_events_dropped_total"); got == 0 {
+		t.Error("eviction without any accounted drops")
+	}
+
+	// The handler must have exited (stream terminates) and announced
+	// the eviction; the gauge must settle at zero exactly once.
+	bodyCh := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(resp.Body)
+		bodyCh <- string(b)
+	}()
+	select {
+	case body := <-bodyCh:
+		if !strings.Contains(body, "event: evicted") {
+			t.Errorf("stream did not announce eviction:\n%s", body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("evicted subscriber's stream never terminated")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for counterValue(t, reg, "serve_sse_subscribers") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber gauge = %g after eviction, want 0",
+				counterValue(t, reg, "serve_sse_subscribers"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Further publishes must not shed into the dead subscriber.
+	before := counterValue(t, reg, "serve_events_dropped_total")
+	s.Publish(trace.Event{Kind: trace.KindCustom, Detail: "after"})
+	if after := counterValue(t, reg, "serve_events_dropped_total"); after != before {
+		t.Errorf("drops still accumulating after eviction: %g -> %g", before, after)
+	}
+}
+
+// TestListenerHardeningDefaults checks the slowloris guards land on the
+// http.Server, and that Mount extends the mux.
+func TestListenerHardeningDefaults(t *testing.T) {
+	mounted := false
+	s := startTestServer(t, Config{Mount: func(mux *http.ServeMux) {
+		mux.HandleFunc("/extra", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "extra-ok")
+		})
+		mounted = true
+	}})
+	if !mounted {
+		t.Fatal("Mount hook never called")
+	}
+	srv := s.httpSrv
+	if srv.ReadHeaderTimeout != 5*time.Second || srv.WriteTimeout != 30*time.Second ||
+		srv.IdleTimeout != 120*time.Second || srv.MaxHeaderBytes != 1<<20 {
+		t.Fatalf("hardening defaults not applied: %+v", srv)
+	}
+	if body, code := get(t, s.URL()+"/extra"); code != 200 || body != "extra-ok" {
+		t.Errorf("mounted route = %d %q", code, body)
+	}
+	// SSE must still work with a WriteTimeout armed (the handler clears
+	// its own deadline) — regression guard for the exemption.
+	s2 := startTestServer(t, Config{WriteTimeout: 200 * time.Millisecond, Replay: -1})
+	resp, err := http.Get(s2.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	time.Sleep(400 * time.Millisecond) // outlive the WriteTimeout
+	go s2.Publish(trace.Event{Kind: trace.KindCustom, Detail: "still-alive"})
+	sc := bufio.NewScanner(resp.Body)
+	got := ""
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			got = sc.Text()
+			break
+		}
+	}
+	if !strings.Contains(got, "still-alive") {
+		t.Errorf("SSE stream died under WriteTimeout: %q (err %v)", got, sc.Err())
+	}
+}
+
 func TestCloseIdempotentAndReleasesStreams(t *testing.T) {
 	s := startTestServer(t, Config{})
 	resp, err := http.Get(s.URL() + "/events")

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"mmtag/internal/net"
+)
+
+// Snapshot is one epoch's published view of the live deployment:
+// immutable once published, shared by every concurrent reader through
+// an atomic pointer, with each JSON rendering produced exactly once per
+// snapshot (single-flight) no matter how many requests coalesce on it.
+type Snapshot struct {
+	// Epoch is how many association epochs have completed.
+	Epoch int
+	// Generation is the config generation the epoch ran under.
+	Generation int64
+	// FaultSpec is the fault plan in spec form ("" = none).
+	FaultSpec string
+	// TakenAt is when the epoch loop published this snapshot.
+	TakenAt time.Time
+	// Report is the cumulative deployment report (running means).
+	Report *net.Report
+	// Tags is every tag's state at the epoch boundary, in ID order.
+	Tags []net.TagInfo
+
+	tagsJSON   renderOnce
+	reportJSON renderOnce
+}
+
+// renderOnce is the single-flight cache for one JSON view: the first
+// reader renders, everyone else waits on the same sync.Once and shares
+// the bytes.
+type renderOnce struct {
+	once sync.Once
+	body []byte
+	err  error
+}
+
+func (r *renderOnce) get(render func() (any, error)) ([]byte, error) {
+	r.once.Do(func() {
+		v, err := render()
+		if err != nil {
+			r.err = err
+			return
+		}
+		r.body, r.err = json.Marshal(v)
+	})
+	return r.body, r.err
+}
+
+// tagJSON is the wire form of one tag's state.
+type tagJSON struct {
+	ID      uint8   `json:"id"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Mobile  bool    `json:"mobile"`
+	Serving int     `json:"serving_ap"`
+	Suspect bool    `json:"suspect"`
+}
+
+// snapshotMeta frames every snapshot-backed response.
+type snapshotMeta struct {
+	Epoch      int    `json:"epoch"`
+	Generation int64  `json:"config_generation"`
+	Faults     string `json:"faults,omitempty"`
+	TakenAt    string `json:"taken_at"`
+}
+
+func (s *Snapshot) meta() snapshotMeta {
+	return snapshotMeta{
+		Epoch:      s.Epoch,
+		Generation: s.Generation,
+		Faults:     s.FaultSpec,
+		TakenAt:    s.TakenAt.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// TagsJSON renders the /v1/tags body, once per snapshot.
+func (s *Snapshot) TagsJSON(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.tagsJSON.get(func() (any, error) {
+		tags := make([]tagJSON, 0, len(s.Tags))
+		for _, t := range s.Tags {
+			tags = append(tags, tagJSON{
+				ID: t.ID, X: t.Pos.X, Y: t.Pos.Y,
+				Mobile: t.Mobile, Serving: t.Serving, Suspect: t.Suspect,
+			})
+		}
+		return struct {
+			snapshotMeta
+			Tags []tagJSON `json:"tags"`
+		}{s.meta(), tags}, nil
+	})
+}
+
+// TagJSON renders one tag's state, or (nil, false) when the ID is not
+// deployed.
+func (s *Snapshot) TagJSON(ctx context.Context, id uint8) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	for _, t := range s.Tags {
+		if t.ID == id {
+			body, err := json.Marshal(struct {
+				snapshotMeta
+				Tag tagJSON `json:"tag"`
+			}{s.meta(), tagJSON{
+				ID: t.ID, X: t.Pos.X, Y: t.Pos.Y,
+				Mobile: t.Mobile, Serving: t.Serving, Suspect: t.Suspect,
+			}})
+			return body, true, err
+		}
+	}
+	return nil, false, nil
+}
+
+// ReportJSON renders the /v1/report body, once per snapshot.
+func (s *Snapshot) ReportJSON(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.reportJSON.get(func() (any, error) {
+		return struct {
+			snapshotMeta
+			Report *net.Report `json:"report"`
+		}{s.meta(), s.Report}, nil
+	})
+}
