@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-check fuzz docs serve-smoke soak
+.PHONY: check fmt vet build test race bench bench-json bench-check bench-batch fuzz docs serve-smoke soak
 
 check: fmt vet build race docs
 
@@ -49,6 +49,13 @@ bench-json:
 # because the baseline was likely recorded on different hardware.
 bench-check:
 	$(GO) run ./cmd/mmtag-bench -benchjson - -benchcompare BENCH_baseline.json -benchnstol 50 -benchallocstol 0.01
+
+# Batched-demodulation throughput: the DemodulateBatch microbenchmarks
+# plus the per-core "tput" suite rows (wall ns per million tag·symbols)
+# gated against the committed baseline.
+bench-batch:
+	$(GO) test -run NONE -bench DemodulateBatch -benchtime 1x ./internal/ap/
+	$(GO) run ./cmd/mmtag-bench -experiment tput -benchjson - -benchcompare BENCH_baseline.json -benchnstol 50 -benchallocstol 0.01
 
 # Local equivalent of CI's serve smoke: boot a run behind -serve,
 # scrape a quantile series and one SSE event, shut down via SIGINT.

@@ -103,15 +103,29 @@ func compareBench(cur, base *BenchReport, nsTolPct, allocsTolPct float64) []stri
 // fails.
 func runBenchJSON(id string, seed int64, label, outPath string, reps int, comparePath string, nsTolPct, allocsTolPct float64, w io.Writer) error {
 	ids := []string{id}
+	withTput := false
 	switch {
 	case strings.EqualFold(id, "all"):
 		ids = eval.ExperimentIDs()
+		withTput = true
 	case strings.EqualFold(id, "chaos"):
 		ids = eval.ChaosExperimentIDs()
+	case strings.EqualFold(id, "tput"):
+		// Throughput suite only: the per-core tags·symbols/sec rows
+		// (TPUT/E3, TPUT/E9, TPUT/E11 and the batch microbenchmark).
+		ids = nil
+		withTput = true
 	}
 	report, err := measureBench(label, ids, seed, reps)
 	if err != nil {
 		return err
+	}
+	if withTput {
+		tput, err := measureTput(seed, reps)
+		if err != nil {
+			return err
+		}
+		report.Benchmarks = append(report.Benchmarks, tput...)
 	}
 	if outPath != "" {
 		if err := writeBenchReport(report, outPath, w); err != nil {

@@ -96,7 +96,7 @@ func TestGoldenSuiteOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
 			pool := par.New(par.Config{Workers: workers})
 			defer pool.Close()

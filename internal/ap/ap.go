@@ -175,11 +175,20 @@ func (a *AP) MinDetectableRatioDB() float64 {
 // Quantize models the ADC: clips x to fullScale amplitude per I/Q rail
 // and rounds to the configured bit depth. It returns a new slice.
 func (a *AP) Quantize(x []complex128, fullScale float64) []complex128 {
+	return a.QuantizeTo(make([]complex128, len(x)), x, fullScale)
+}
+
+// QuantizeTo is Quantize into a caller-provided buffer (grown if too
+// short). dst may alias x for in-place quantization.
+func (a *AP) QuantizeTo(dst, x []complex128, fullScale float64) []complex128 {
 	if fullScale <= 0 {
 		panic("ap: ADC full scale must be positive")
 	}
 	levels := math.Pow(2, float64(a.cfg.ADCBits-1)) // per signed rail
-	out := make([]complex128, len(x))
+	if cap(dst) < len(x) {
+		dst = make([]complex128, len(x))
+	}
+	out := dst[:len(x)]
 	q := func(v float64) float64 {
 		if v > fullScale {
 			v = fullScale

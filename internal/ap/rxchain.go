@@ -167,14 +167,17 @@ func integrateAndDumpTo(dst, x []complex128, sps int) []complex128 {
 	n := len(x) / sps
 	out := dsp.GrowComplex(dst, n)
 	skip := sps / 4
+	div := float64(sps - skip)
 	for k := 0; k < n; k++ {
 		var acc complex128
-		cnt := 0
 		for i := skip; i < sps; i++ {
 			acc += x[k*sps+i]
-			cnt++
 		}
-		out[k] = acc / complex(float64(cnt), 0)
+		// Componentwise division by the real sample count. This is the
+		// exact path runtime.complex128div takes for a positive real
+		// divisor (Smith's algorithm with ratio 0), minus the call and
+		// the branchy scaling — bit-identical for every finite acc.
+		out[k] = complex(real(acc)/div, imag(acc)/div)
 	}
 	return out
 }

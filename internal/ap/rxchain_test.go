@@ -16,7 +16,7 @@ import (
 // baseband: preamble + frame symbols through the tag's switch modulator,
 // scaled by the echo amplitude, buried under a static offset
 // (self-interference + clutter) and AWGN.
-func buildUplinkWaveform(t *testing.T, set vanatta.StateSet, payload []byte,
+func buildUplinkWaveform(t testing.TB, set vanatta.StateSet, payload []byte,
 	sps int, riseFrac float64, echoAmp, staticOffset complex128, noisePower float64,
 	rng *rand.Rand, opts frame.Options) ([]complex128, []byte, *Demodulator) {
 	t.Helper()

@@ -1,10 +1,11 @@
 // Package benchfmt is the shared benchmark-report format behind the
 // repo's performance gates: the BENCH_<label>.json schema written by
 // cmd/mmtag-bench (evaluation-suite regeneration cost) and
-// cmd/mmtag-load (service latency under closed-loop load), and the
-// comparison rules `make bench-check` applies against the committed
-// baseline. Rows carry a suite discriminator so one baseline file can
-// hold both populations: a comparison only judges baseline rows whose
+// cmd/mmtag-load (service latency under closed-loop load),
+// cmd/mmtag-bench's "tput" rows (demodulation throughput per core),
+// and the comparison rules `make bench-check` applies against the
+// committed baseline. Rows carry a suite discriminator so one baseline
+// file can hold all these populations: a comparison only judges baseline rows whose
 // suite the current run measured, which lets mmtag-bench gate the eval
 // rows without tripping over load rows and vice versa.
 //
@@ -27,6 +28,14 @@ import (
 // the p50 (both in nanoseconds), Rows the count of server errors plus
 // client timeouts (baseline 0, so the exact row-count gate turns any
 // 5xx into a regression), and AllocsOp is unused.
+// For the "tput" suite (demodulation throughput per core, written by
+// mmtag-bench -experiment tput or all) NsOp is wall nanoseconds per
+// million tag·symbols on a single worker (minimum over reps — a
+// hardware-normalized rate, so the percentage gate reads directly as a
+// throughput regression), BytesOp the tag·symbol workload of one
+// regeneration or batch pass, Rows the table-row or batch-lane count,
+// and AllocsOp is unused (the batch path's allocation discipline is
+// enforced by AllocsPerRun guards in internal/ap and internal/dsp).
 type Result struct {
 	Name     string `json:"name"`
 	Suite    string `json:"suite,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"mmtag/internal/dsp"
+	"mmtag/internal/fastrand"
 )
 
 // AWGN adds complex white Gaussian noise with the given total noise power
@@ -20,6 +21,40 @@ func AWGN(rng *rand.Rand, x []complex128, noisePower float64) []complex128 {
 	for i := range x {
 		x[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
 	}
+	return x
+}
+
+// AWGNFast is AWGN on the devirtualized fastrand generator: the same
+// draws in the same order, so a fastrand.Rand and a math/rand.Rand
+// seeded alike produce bit-identical noise. Hot Monte-Carlo loops
+// (E9/E11 waveform sweeps) use this form: the generator runs through a
+// detached fastrand.Core with the ziggurat accept test inlined, so the
+// common path is free of calls entirely (NormSlow handles the <1%
+// rejections).
+func AWGNFast(rng *fastrand.Rand, x []complex128, noisePower float64) []complex128 {
+	if noisePower < 0 {
+		panic("channel: noise power must be >= 0")
+	}
+	sigma := math.Sqrt(noisePower / 2)
+	core := rng.Core()
+	for i := range x {
+		j1 := int32(core.Uint32())
+		x1 := float64(j1) * float64(fastrand.WN[j1&0x7F])
+		if fastrand.AbsInt32(j1) >= fastrand.KN[j1&0x7F] {
+			rng.SetCore(core)
+			x1 = rng.NormSlow(j1)
+			core = rng.Core()
+		}
+		j2 := int32(core.Uint32())
+		x2 := float64(j2) * float64(fastrand.WN[j2&0x7F])
+		if fastrand.AbsInt32(j2) >= fastrand.KN[j2&0x7F] {
+			rng.SetCore(core)
+			x2 = rng.NormSlow(j2)
+			core = rng.Core()
+		}
+		x[i] += complex(x1*sigma, x2*sigma)
+	}
+	rng.SetCore(core)
 	return x
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"mmtag/internal/dsp"
+	"mmtag/internal/fastrand"
 )
 
 func TestAWGNPowerAndReproducibility(t *testing.T) {
@@ -260,5 +261,31 @@ func TestAWGNSNRConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// AWGNFast must add bit-identical noise to AWGN for identically seeded
+// generators — same draws, same order, including the NormSlow
+// rejection path (exercised by the large sample count).
+func TestAWGNFastMatchesAWGN(t *testing.T) {
+	for _, seed := range []int64{1, 42, -9} {
+		ref := rand.New(rand.NewSource(seed))
+		fast := fastrand.New(seed)
+		a := make([]complex128, 40000)
+		b := make([]complex128, 40000)
+		for i := range a {
+			v := complex(float64(i%17)-8, float64(i%5)-2)
+			a[i], b[i] = v, v
+		}
+		AWGN(ref, a, 0.25)
+		AWGNFast(fast, b, 0.25)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: sample %d differs: %v != %v", seed, i, b[i], a[i])
+			}
+		}
+		if x, y := ref.Int63(), fast.Int63(); x != y {
+			t.Fatalf("seed %d: streams desynchronized (%d vs %d)", seed, x, y)
+		}
 	}
 }

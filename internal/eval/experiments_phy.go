@@ -7,6 +7,7 @@ import (
 
 	"mmtag/internal/ap"
 	"mmtag/internal/channel"
+	"mmtag/internal/fastrand"
 	"mmtag/internal/frame"
 	"mmtag/internal/phy"
 	"mmtag/internal/rfmath"
@@ -23,21 +24,45 @@ func E3BERvsEbN0(seed int64) (*Table, error) {
 // e3BERvsEbN0 is an indivisible grid: one RNG stream deliberately
 // threads through every (modulation, Eb/N0) cell in row order, so
 // splitting it would change the published numbers. It runs as a single
-// shard and parallelizes only against its sibling experiments.
+// shard and parallelizes only against its sibling experiments. The
+// stream comes from fastrand and the cells run the fused
+// MeasureBERFast — bit-identical to the historical
+// rand.New + MeasureBER pairing.
+// e3Mods, e3EbN0DB and e3BitBudget are package-level so the throughput
+// accounting in tput.go counts exactly the symbols the experiment
+// processes (see TagSymbolWorkload) — one definition, no drift.
+type e3Mod struct {
+	name   string
+	set    vanatta.StateSet
+	theory func(float64) float64
+}
+
+var e3Mods = []e3Mod{
+	{"ook", vanatta.OOK(), rfmath.BEROOK},
+	{"bpsk", vanatta.BPSK(), rfmath.BERBPSK},
+	{"qpsk", vanatta.QPSK(), rfmath.BERQPSK},
+	{"8psk", vanatta.PSK8(), func(e float64) float64 { return rfmath.BERMPSK(8, e) }},
+	{"16qam", vanatta.QAM16(), func(e float64) float64 { return rfmath.BERMQAM(16, e) }},
+}
+
+var e3EbN0DB = []float64{2, 4, 6, 8, 10}
+
+// e3BitBudget sizes one E3 cell's Monte-Carlo run: enough bits to see
+// ~60 errors at the theoretical BER, within fixed bounds.
+func e3BitBudget(wantBER float64) int {
+	nBits := 60000
+	if wantBER < 1e-3 {
+		nBits = int(60 / wantBER)
+	}
+	if nBits > 1_500_000 {
+		nBits = 1_500_000
+	}
+	return nBits
+}
+
 func e3BERvsEbN0(x Exec, seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
-	type modDef struct {
-		name   string
-		set    vanatta.StateSet
-		theory func(float64) float64
-	}
-	mods := []modDef{
-		{"ook", vanatta.OOK(), rfmath.BEROOK},
-		{"bpsk", vanatta.BPSK(), rfmath.BERBPSK},
-		{"qpsk", vanatta.QPSK(), rfmath.BERQPSK},
-		{"8psk", vanatta.PSK8(), func(e float64) float64 { return rfmath.BERMPSK(8, e) }},
-		{"16qam", vanatta.QAM16(), func(e float64) float64 { return rfmath.BERMQAM(16, e) }},
-	}
+	rng := fastrand.New(seed)
+	mods := e3Mods
 	t := &Table{
 		ID:     "E3",
 		Title:  "Measured vs closed-form BER on AWGN",
@@ -50,17 +75,11 @@ func e3BERvsEbN0(x Exec, seed int64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, db := range []float64{2, 4, 6, 8, 10} {
+			for _, db := range e3EbN0DB {
 				ebn0 := rfmath.FromDB(db)
 				want := m.theory(ebn0)
-				nBits := 60000
-				if want < 1e-3 {
-					nBits = int(60 / want)
-				}
-				if nBits > 1_500_000 {
-					nBits = 1_500_000
-				}
-				res, err := phy.MeasureBER(c, ebn0, nBits, rng)
+				nBits := e3BitBudget(want)
+				res, err := phy.MeasureBERFast(c, ebn0, nBits, rng)
 				if err != nil {
 					return nil, err
 				}
@@ -118,10 +137,10 @@ func e9Cancellation(x Exec, tb *Testbed, seed int64) (*Table, error) {
 			"sync_score", "evm", "decoded"},
 		Notes: []string{"AGC sets the ADC full scale to the composite signal; weak cancellation leaves the echo under the quantization floor"},
 	}
-	grid := []float64{0, 10, 20, 30, 40, 50, 60}
+	grid := e9CancelGrid
 	err = x.runGrid(t, len(grid), func(shard int) ([]row, error) {
 		cancelDB := grid[shard]
-		rng := rand.New(rand.NewSource(seed + int64(cancelDB)))
+		rng := fastrand.New(seed + int64(cancelDB))
 		residualW := channel.SelfInterferencePowerW(tb.TxPowerW, isolationDB+cancelDB)
 		// Normalize the residual SI to amplitude 1; the echo scales
 		// relative to it.
@@ -138,8 +157,7 @@ func e9Cancellation(x Exec, tb *Testbed, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		payload := []byte("cancellation sweep payload")
-		f := &frame.Frame{Type: frame.TypeData, TagID: 1, Payload: payload}
+		f := &frame.Frame{Type: frame.TypeData, TagID: 1, Payload: e9Payload}
 		bits, err := f.EncodeBits(frame.Options{})
 		if err != nil {
 			return nil, err
@@ -158,7 +176,7 @@ func e9Cancellation(x Exec, tb *Testbed, seed int64) (*Table, error) {
 		for i := range wave {
 			wave[i] = wave[i]*echoAmp + complex(0.9, 0.3) // residual SI at ~unit amplitude
 		}
-		channel.AWGN(rng, wave, noiseRel)
+		channel.AWGNFast(rng, wave, noiseRel)
 		// AGC: the converter full scale tracks the composite peak.
 		peak := 0.0
 		for _, v := range wave {
@@ -166,8 +184,8 @@ func e9Cancellation(x Exec, tb *Testbed, seed int64) (*Table, error) {
 				peak = a
 			}
 		}
-		quant := apx.Quantize(wave, peak)
-		res := dem.Demodulate(quant, 8)
+		quant := apx.QuantizeTo(wave, wave, peak)
+		res := dem.DemodulateWaveform(quant, 8)
 
 		return []row{{cancelDB, rfmath.DBm(residualW), rfmath.DB(echoW / residualW),
 			res.SyncScore, res.EVM, fmt.Sprintf("%v", res.OK())}}, nil
@@ -200,11 +218,11 @@ func e11SwitchLimit(x Exec, tb *Testbed, seed int64) ([]*Table, error) {
 		Title:  fmt.Sprintf("Constellation quality vs symbol rate (rise time %.0f ns)", tb.SwitchRiseTime*1e9),
 		Header: []string{"symbol_rate_MHz", "settled_fraction", "evm", "decoded"},
 	}
-	payload := []byte("switch limit sweep payload")
-	grid := []float64{1, 5, 10, 20, 50, 100, 150, 200}
+	payload := e11Payload
+	grid := e11RateGrid
 	err = x.runGrid(sweep, len(grid), func(shard int) ([]row, error) {
 		rateMHz := grid[shard]
-		rng := rand.New(rand.NewSource(seed + int64(rateMHz)))
+		rng := fastrand.New(seed + int64(rateMHz))
 		symbolRate := rateMHz * 1e6
 		dem, err := ap.NewDemodulator(c, 63, frame.Options{})
 		if err != nil {
@@ -224,8 +242,8 @@ func e11SwitchLimit(x Exec, tb *Testbed, seed int64) ([]*Table, error) {
 		for i := range wave {
 			wave[i] = wave[i]*0.01 + complex(0.7, 0.2)
 		}
-		channel.AWGN(rng, wave, 1e-8)
-		res := dem.Demodulate(wave, 8)
+		channel.AWGNFast(rng, wave, 1e-8)
+		res := dem.DemodulateWaveform(wave, 8)
 		return []row{{rateMHz, mod.SettledFraction(), res.EVM, fmt.Sprintf("%v", res.OK())}}, nil
 	})
 	if err != nil {

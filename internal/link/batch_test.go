@@ -1,0 +1,142 @@
+package link
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmtag/internal/mac"
+)
+
+// batchTrialSpec drives the serial/batched comparison: rate, SNR and
+// payload per trial, with some SNRs invalid on purpose.
+type batchTrialSpec struct {
+	rate    mac.Rate
+	snr     float64
+	payload int
+}
+
+func mixedTrialSpecs() []batchTrialSpec {
+	qpsk := mac.Rate{Mod: mac.ModQPSK(), BitRate: 20e6}
+	qpskCoded := mac.Rate{Mod: mac.ModQPSK(), BitRate: 10e6, Coded: true}
+	bpsk := mac.Rate{Mod: mac.ModBPSK(), BitRate: 10e6}
+	return []batchTrialSpec{
+		{qpsk, 200, 12},
+		{bpsk, 150, 8},
+		{qpsk, math.NaN(), 12}, // invalid: no RNG draws, auto-false
+		{qpskCoded, 80, 16},
+		{qpsk, 0.02, 12}, // deep fade: demod should fail
+		{bpsk, -3, 8},    // invalid
+		{qpskCoded, 120, 4},
+		{qpsk, 500, 20},
+	}
+}
+
+// TestFrameSuccessBatchMatchesSerial checks the batched frame path
+// trial for trial against serial FrameSuccess: same outcomes and the
+// same RNG consumption, across mixed modulations, coded and uncoded
+// rates, and invalid SNRs, at several batch sizes.
+func TestFrameSuccessBatchMatchesSerial(t *testing.T) {
+	specs := mixedTrialSpecs()
+	for _, n := range []int{1, 2, 7, len(specs) * 8} {
+		serialEng := NewWaveform()
+		batchEng := NewWaveform()
+		serialRng := rand.New(rand.NewSource(42))
+		batchRng := rand.New(rand.NewSource(42))
+
+		trials := make([]FrameTrial, n)
+		want := make([]bool, n)
+		for i := 0; i < n; i++ {
+			sp := specs[i%len(specs)]
+			got, err := serialEng.FrameSuccess(sp.rate, sp.snr, sp.payload, serialRng)
+			if err != nil {
+				t.Fatalf("n=%d serial trial %d: %v", n, i, err)
+			}
+			want[i] = got
+			trials[i] = FrameTrial{Rate: sp.rate, SNR: sp.snr, PayloadBytes: sp.payload, Rng: batchRng}
+		}
+
+		got, err := batchEng.FrameSuccessBatch(trials, nil)
+		if err != nil {
+			t.Fatalf("n=%d batch: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d outcomes", n, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("n=%d trial %d: batch=%v serial=%v", n, i, got[i], want[i])
+			}
+		}
+		// Both rngs must have advanced identically: the next draws match.
+		if a, b := serialRng.Int63(), batchRng.Int63(); a != b {
+			t.Errorf("n=%d: rng streams diverged after trials (%d vs %d)", n, a, b)
+		}
+	}
+}
+
+// TestFrameSuccessBatchHomogeneous exercises the no-gather fast path:
+// every trial the same demodulator, including a deep-fade failure.
+func TestFrameSuccessBatchHomogeneous(t *testing.T) {
+	r := mac.Rate{Mod: mac.ModQPSK(), BitRate: 20e6}
+	snrs := []float64{300, 0.01, 120, 90, 250, 0.02, 70}
+
+	serialEng := NewWaveform()
+	batchEng := NewWaveform()
+	serialRng := rand.New(rand.NewSource(7))
+	batchRng := rand.New(rand.NewSource(7))
+
+	var trials []FrameTrial
+	var want []bool
+	for i, snr := range snrs {
+		got, err := serialEng.FrameSuccess(r, snr, 10, serialRng)
+		if err != nil {
+			t.Fatalf("serial trial %d: %v", i, err)
+		}
+		want = append(want, got)
+		trials = append(trials, FrameTrial{Rate: r, SNR: snr, PayloadBytes: 10, Rng: batchRng})
+	}
+	got, err := batchEng.FrameSuccessBatch(trials, nil)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("trial %d: batch=%v serial=%v", i, got[i], want[i])
+		}
+	}
+	if a, b := serialRng.Int63(), batchRng.Int63(); a != b {
+		t.Errorf("rng streams diverged (%d vs %d)", a, b)
+	}
+}
+
+// TestStageFrameErrors checks stage-time validation.
+func TestStageFrameErrors(t *testing.T) {
+	w := NewWaveform()
+	var b FrameBatch
+	rng := rand.New(rand.NewSource(1))
+	r := mac.Rate{Mod: mac.ModQPSK(), BitRate: 20e6}
+	if err := w.StageFrame(&b, r, 100, -1, rng); err == nil {
+		t.Fatal("negative payload: want error")
+	}
+	bad := mac.Rate{Mod: mac.Modulation{Name: "nope", BitsPerSymbol: 1}, BitRate: 1e6}
+	if err := w.StageFrame(&b, bad, 100, 8, rng); err == nil {
+		t.Fatal("unknown modulation: want error")
+	}
+	// Batch reuse after Reset: stage+flush twice on the same FrameBatch.
+	for round := 0; round < 2; round++ {
+		if err := w.StageFrame(&b, r, 200, 8, rng); err != nil {
+			t.Fatalf("round %d stage: %v", round, err)
+		}
+		ok, err := w.FlushFrames(&b, nil)
+		if err != nil {
+			t.Fatalf("round %d flush: %v", round, err)
+		}
+		if len(ok) != 1 || !ok[0] {
+			t.Fatalf("round %d: want one success, got %v", round, ok)
+		}
+		if b.Len() != 0 {
+			t.Fatalf("round %d: batch not reset, len=%d", round, b.Len())
+		}
+	}
+}

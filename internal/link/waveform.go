@@ -8,6 +8,7 @@ import (
 
 	"mmtag/internal/ap"
 	"mmtag/internal/channel"
+	"mmtag/internal/dsp"
 	"mmtag/internal/frame"
 	"mmtag/internal/mac"
 	"mmtag/internal/phy"
@@ -42,6 +43,12 @@ type Waveform struct {
 	demods map[string]*ap.Demodulator
 	wave   []complex128 // scratch waveform buffer
 	syms   []int        // scratch symbol buffer
+
+	// Batched frame-path scratch (StageFrame/FlushFrames, batch.go).
+	stage    FrameBatch        // FrameSuccessBatch's staging area
+	flushIdx []int             // trial indices of the group being flushed
+	flushRx  dsp.Batch         // gathered lanes of that group
+	flushRes []ap.UplinkResult // its batched demodulation results
 }
 
 // NewWaveform returns a tier-a engine.

@@ -36,6 +36,18 @@ type AckLossMedium interface {
 	AckLost(tagID uint8) bool
 }
 
+// FrameEngine lets a station delegate per-frame delivery to a physical
+// link engine instead of the analytic FramePER draw. The signature
+// matches link.Engine.FrameSuccess structurally, so any link-ladder
+// engine (budget, symbol, waveform) plugs in directly without mac
+// importing link.
+type FrameEngine interface {
+	// FrameSuccess reports whether one data frame carrying
+	// payloadBytes at rate r succeeds at linear SNR snr. All
+	// randomness must come from rng.
+	FrameSuccess(r Rate, snr float64, payloadBytes int, rng *rand.Rand) (bool, error)
+}
+
 // StationConfig parameterizes the AP-side MAC.
 type StationConfig struct {
 	// Beams is the discovery codebook (radians).
@@ -72,6 +84,14 @@ type StationConfig struct {
 	// (polls, retries, contention, per-tag SNR). Nil keeps the hot path
 	// allocation-free.
 	Obs *obs.Handle
+	// Frames, when non-nil, replaces the analytic FramePER draw in
+	// Poll's data-frame ARQ loop with a real per-frame trial on the
+	// given engine (discovery probes stay analytic — they only gate
+	// contention). sim.InventoryConfig and net's deployment configs
+	// embed this StationConfig, so the engine passes straight through
+	// to every station they build. Nil (the default) preserves the
+	// historical closed-form behavior exactly.
+	Frames FrameEngine
 }
 
 func (c StationConfig) withDefaults() StationConfig {
@@ -434,8 +454,18 @@ func (s *Station) Poll(id uint8) (PollResult, error) {
 		}
 		if audible {
 			res.SNRdB = 10 * math.Log10(snr)
-			per := rate.FramePER(snr, airBits)
-			if s.rng.Float64() >= per {
+			delivered := false
+			if s.cfg.Frames != nil {
+				good, err := s.cfg.Frames.FrameSuccess(rate, snr, s.cfg.PollPayloadBytes, s.rng)
+				if err != nil {
+					return PollResult{}, fmt.Errorf("mac: frame engine: %w", err)
+				}
+				delivered = good
+			} else {
+				per := rate.FramePER(snr, airBits)
+				delivered = s.rng.Float64() >= per
+			}
+			if delivered {
 				// Frame received. First reception delivers the payload;
 				// later ones are duplicates of a frame whose ACK the
 				// tag never heard.

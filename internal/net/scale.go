@@ -458,10 +458,25 @@ func (s *ScaleDeployment) Run() (*ScaleReport, error) {
 	return rep, nil
 }
 
+// scaleFlushLanes bounds how many staged tier-a frame waveforms a
+// chunk holds before flushing them through the batched demodulator —
+// a memory cap, not a correctness knob: outcomes are per-trial, so any
+// flush boundary between tags yields the same report.
+const scaleFlushLanes = 256
+
 // runChunk simulates tags [ci*ChunkSize, min((ci+1)*ChunkSize, Tags)).
 // The tier-c path is allocation-free per tag (value-type RNG streams,
 // closed-form outcomes); the bounded tier-a/b heads lazily build their
 // engines once per chunk and reseed a single shared RNG per tag.
+//
+// Tier-a tags stage their frame waveforms into a chunk-wide
+// link.FrameBatch and demodulate in batched flushes, so every staged
+// lane shares one FFT plan walk and one preamble spectrum. All RNG
+// draws still happen per tag at stage time, in trial order — the
+// stream discipline (reseed shared rng per tag, draw FramesPerTag
+// frames) is unchanged, so outcomes are bit-identical to the serial
+// loop. Their aggregation is deferred to the flush, which is safe
+// because the atomic adds and histogram observations commute.
 func (s *ScaleDeployment) runChunk(ci int, agg *scaleAgg) error {
 	cfg := s.cfg
 	lo := ci * cfg.ChunkSize
@@ -473,6 +488,48 @@ func (s *ScaleDeployment) runChunk(ci int, agg *scaleAgg) error {
 	var sym *link.Symbol
 	var wav *link.Waveform
 	var rng *rand.Rand
+
+	tally := func(a int, tier link.Tier, snrDB float64, ok int) {
+		agg.tags[a].Add(1)
+		agg.tier[tier][a].Add(1)
+		agg.ok[a].Add(int64(ok))
+		agg.lost[a].Add(int64(cfg.FramesPerTag - ok))
+		agg.snrMilli[a].Add(int64(math.Round(snrDB * 1000)))
+		if s.m != nil {
+			s.m.snr.Observe(snrDB)
+			s.m.delivery.Observe(float64(ok) / float64(cfg.FramesPerTag))
+		}
+	}
+
+	type deferredTag struct {
+		ap    int
+		snrDB float64
+	}
+	var batch link.FrameBatch
+	var deferred []deferredTag
+	var okFlags []bool
+	flush := func() error {
+		if len(deferred) == 0 {
+			return nil
+		}
+		var err error
+		okFlags, err = wav.FlushFrames(&batch, okFlags[:0])
+		if err != nil {
+			return err
+		}
+		for t, d := range deferred {
+			ok := 0
+			for _, good := range okFlags[t*cfg.FramesPerTag : (t+1)*cfg.FramesPerTag] {
+				if good {
+					ok++
+				}
+			}
+			tally(d.ap, link.TierWaveform, d.snrDB, ok)
+		}
+		deferred = deferred[:0]
+		return nil
+	}
+
 	for i := lo; i < hi; i++ {
 		x, y := s.tagPos(i)
 		a, snr := s.assign(x, y)
@@ -490,25 +547,36 @@ func (s *ScaleDeployment) runChunk(ci int, agg *scaleAgg) error {
 					ok++
 				}
 			}
-		default:
+		case link.TierWaveform:
+			if wav == nil {
+				wav = link.NewWaveform()
+			}
 			if rng == nil {
 				rng = rand.New(rand.NewSource(0))
 			}
 			rng.Seed(par.Derive(cfg.Seed, linkStream))
-			var eng link.Engine
-			if tier == link.TierWaveform {
-				if wav == nil {
-					wav = link.NewWaveform()
-				}
-				eng = wav
-			} else {
-				if sym == nil {
-					sym = link.NewSymbol()
-				}
-				eng = sym
-			}
 			for f := 0; f < cfg.FramesPerTag; f++ {
-				good, err := eng.FrameSuccess(cfg.Rate, snrRate, cfg.PayloadBytes, rng)
+				if err := wav.StageFrame(&batch, cfg.Rate, snrRate, cfg.PayloadBytes, rng); err != nil {
+					return err
+				}
+			}
+			deferred = append(deferred, deferredTag{ap: a, snrDB: snrDB})
+			if batch.Len() >= scaleFlushLanes {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			continue // tallied at the flush
+		default:
+			if sym == nil {
+				sym = link.NewSymbol()
+			}
+			if rng == nil {
+				rng = rand.New(rand.NewSource(0))
+			}
+			rng.Seed(par.Derive(cfg.Seed, linkStream))
+			for f := 0; f < cfg.FramesPerTag; f++ {
+				good, err := sym.FrameSuccess(cfg.Rate, snrRate, cfg.PayloadBytes, rng)
 				if err != nil {
 					return err
 				}
@@ -518,15 +586,7 @@ func (s *ScaleDeployment) runChunk(ci int, agg *scaleAgg) error {
 			}
 		}
 
-		agg.tags[a].Add(1)
-		agg.tier[tier][a].Add(1)
-		agg.ok[a].Add(int64(ok))
-		agg.lost[a].Add(int64(cfg.FramesPerTag - ok))
-		agg.snrMilli[a].Add(int64(math.Round(snrDB * 1000)))
-		if s.m != nil {
-			s.m.snr.Observe(snrDB)
-			s.m.delivery.Observe(float64(ok) / float64(cfg.FramesPerTag))
-		}
+		tally(a, tier, snrDB, ok)
 	}
-	return nil
+	return flush()
 }

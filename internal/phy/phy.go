@@ -25,9 +25,11 @@ type Constellation struct {
 	points []complex128
 	bits   int
 	name   string
-	// fast, when non-nil, is a structure-aware slicer equivalent to the
-	// linear minimum-distance scan (see buildFastSlicer).
-	fast func(complex128) int
+	// grid/diamond, when non-nil, hold structure-aware slicer data
+	// equivalent to the linear minimum-distance scan (see
+	// buildFastSlicer). At most one is set.
+	grid    *gridData
+	diamond *diamondData
 }
 
 // NewConstellation wraps a point set. The size must be a power of two
@@ -44,7 +46,7 @@ func NewConstellation(name string, points []complex128) (*Constellation, error) 
 		bits++
 	}
 	c := &Constellation{points: p, bits: bits, name: name}
-	c.fast = buildFastSlicer(p)
+	c.grid, c.diamond = buildFastSlicer(p)
 	return c, nil
 }
 
@@ -88,8 +90,11 @@ func (c *Constellation) MeanPower() float64 {
 // thresholds instead of a full scan; arbitrary point sets fall back to
 // the linear minimum-distance search.
 func (c *Constellation) Nearest(r complex128) int {
-	if c.fast != nil {
-		return c.fast(r)
+	if c.grid != nil {
+		return c.grid.slice(r)
+	}
+	if c.diamond != nil {
+		return c.diamond.slice(r)
 	}
 	return nearestScan(c.points, r)
 }

@@ -5,29 +5,94 @@ import (
 	"sort"
 )
 
-// buildFastSlicer inspects a constellation's geometry and returns a
-// minimum-distance decision function that avoids the full point scan,
-// or nil when no structure is recognized.
-//
-// Two shapes are detected: complete rectangular grids (QAM alphabets,
-// OOK and BPSK as degenerate 1-row grids, 45°-rotated QPSK as a 2×2
-// grid), decided per axis against the level midpoints; and the
-// axis-aligned 4-point diamond (classic QPSK), decided by quadrant.
-// Both agree with the linear scan everywhere except exact decision
-// boundaries, which have zero probability for the continuous-valued
-// inputs the demodulators produce.
-func buildFastSlicer(points []complex128) func(complex128) int {
-	if s := gridSlicer(points); s != nil {
-		return s
+// The fast slicers are plain data structs rather than closures so hot
+// kernels (MeasureBERFast, the batch demodulator's decision loops) can
+// branch on the recognized shape once and inline the per-symbol
+// decision, instead of paying an indirect call per symbol.
+
+// gridData decides complete rectangular grids (QAM alphabets, OOK and
+// BPSK as degenerate 1-row grids, 45°-rotated QPSK as a 2×2 grid) by
+// independent per-axis nearest-level thresholding.
+type gridData struct {
+	reMids, imMids []float64
+	idx            []int
+	nim            int
+}
+
+func (g *gridData) slice(r complex128) int {
+	ri := nearestLevel(g.reMids, real(r))
+	ii := nearestLevel(g.imMids, imag(r))
+	return g.idx[ri*g.nim+ii]
+}
+
+// diamondData decides the axis-aligned 4-point diamond (classic QPSK)
+// by dominant axis and sign.
+type diamondData struct {
+	right, up, down, left int
+}
+
+// slice stays small enough to inline into per-symbol loops; the
+// zero-probability exact-tie case is split out into tie. The dominant
+// axis and both signs are uniformly random under noise, so the common
+// path is written as conditional moves rather than branches — a
+// branch here mispredicts half the time.
+func (d *diamondData) slice(r complex128) int {
+	re, im := real(r), imag(r)
+	are, aim := math.Abs(re), math.Abs(im)
+	if are == aim {
+		return d.tie(re, im, are)
 	}
-	return diamondSlicer(points)
+	h := d.right
+	if re < 0 {
+		h = d.left
+	}
+	v := d.up
+	if im < 0 {
+		v = d.down
+	}
+	if aim > are {
+		h = v
+	}
+	return h
+}
+
+// tie resolves |re| == |im|: two candidates tie (all four at the
+// origin); the scan would keep the first minimum it met.
+func (d *diamondData) tie(re, im, are float64) int {
+	if are == 0 {
+		return 0
+	}
+	h, v := d.right, d.up
+	if re < 0 {
+		h = d.left
+	}
+	if im < 0 {
+		v = d.down
+	}
+	if h < v {
+		return h
+	}
+	return v
+}
+
+// buildFastSlicer inspects a constellation's geometry and returns the
+// recognized structure-aware decision data, or (nil, nil) when no
+// structure is found and the linear scan must be used.
+//
+// Both recognized shapes agree with the linear scan everywhere except
+// exact decision boundaries, which have zero probability for the
+// continuous-valued inputs the demodulators produce.
+func buildFastSlicer(points []complex128) (*gridData, *diamondData) {
+	if g := gridSlicer(points); g != nil {
+		return g, nil
+	}
+	return nil, diamondSlicer(points)
 }
 
 // gridSlicer recognizes point sets forming a complete rectangular grid:
 // every combination of the distinct real levels and distinct imaginary
-// levels occurs exactly once. Minimum Euclidean distance then separates
-// into independent per-axis nearest-level decisions.
-func gridSlicer(points []complex128) func(complex128) int {
+// levels occurs exactly once.
+func gridSlicer(points []complex128) *gridData {
 	reLvls := axisLevels(points, func(p complex128) float64 { return real(p) })
 	imLvls := axisLevels(points, func(p complex128) float64 { return imag(p) })
 	nre, nim := len(reLvls), len(imLvls)
@@ -47,12 +112,11 @@ func gridSlicer(points []complex128) func(complex128) int {
 		}
 		idx[cell] = i
 	}
-	reMids := midpoints(reLvls)
-	imMids := midpoints(imLvls)
-	return func(r complex128) int {
-		ri := nearestLevel(reMids, real(r))
-		ii := nearestLevel(imMids, imag(r))
-		return idx[ri*nim+ii]
+	return &gridData{
+		reMids: midpoints(reLvls),
+		imMids: midpoints(imLvls),
+		idx:    idx,
+		nim:    nim,
 	}
 }
 
@@ -97,10 +161,10 @@ func nearestLevel(mids []float64, v float64) int {
 }
 
 // diamondSlicer recognizes the axis-aligned 4-point diamond
-// {(a,0), (0,a), (0,-a), (-a,0)} in any index order and decides by
-// dominant axis and sign. Exact |re| == |im| ties resolve to the lowest
-// point index, matching the scan's first-minimum rule.
-func diamondSlicer(points []complex128) func(complex128) int {
+// {(a,0), (0,a), (0,-a), (-a,0)} in any index order. Exact
+// |re| == |im| ties resolve to the lowest point index, matching the
+// scan's first-minimum rule.
+func diamondSlicer(points []complex128) *diamondData {
 	if len(points) != 4 {
 		return nil
 	}
@@ -129,36 +193,5 @@ func diamondSlicer(points []complex128) func(complex128) int {
 			return nil
 		}
 	}
-	return func(r complex128) int {
-		re, im := real(r), imag(r)
-		are, aim := math.Abs(re), math.Abs(im)
-		if are > aim {
-			if re > 0 {
-				return right
-			}
-			return left
-		}
-		if aim > are {
-			if im > 0 {
-				return up
-			}
-			return down
-		}
-		// |re| == |im|: two candidates tie (all four at the origin);
-		// the scan would keep the first minimum it met.
-		if are == 0 {
-			return 0
-		}
-		h, v := right, up
-		if re < 0 {
-			h = left
-		}
-		if im < 0 {
-			v = down
-		}
-		if h < v {
-			return h
-		}
-		return v
-	}
+	return &diamondData{right: right, up: up, down: down, left: left}
 }

@@ -69,11 +69,11 @@ func TestNearestMatchesScan(t *testing.T) {
 func TestFastSlicerSelection(t *testing.T) {
 	byName := sliceTestAlphabets(t)
 	for _, name := range []string{"bpsk", "qpsk", "ook", "qam16", "qam16-shuffled", "rotated-qpsk", "scaled-diamond"} {
-		if byName[name].fast == nil {
+		if c := byName[name]; c.grid == nil && c.diamond == nil {
 			t.Errorf("%s: expected a fast slicer, got scan fallback", name)
 		}
 	}
-	if byName["asymmetric-4"].fast != nil {
+	if c := byName["asymmetric-4"]; c.grid != nil || c.diamond != nil {
 		t.Error("asymmetric-4: fast slicer accepted an unstructured alphabet")
 	}
 }

@@ -215,13 +215,30 @@ func (m *Modulator) Reset() { m.cur = m.set.Gamma(0) }
 // and returns it. Each symbol occupies SamplesPerSymbol samples; the
 // trajectory relaxes exponentially toward the target state.
 func (m *Modulator) Waveform(dst []complex128, symbols []int) []complex128 {
+	// Pre-grow once: the append-growth copies otherwise dominate long
+	// waveform generation.
+	if need := len(dst) + len(symbols)*m.sps; cap(dst) < need {
+		grown := make([]complex128, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	// The RC step is a real scalar, so the relaxation separates into
+	// independent I/Q recurrences — half the multiplies of the complex
+	// product cur += complex(alpha,0)*(target-cur), with bit-identical
+	// results (the dropped terms are exact-zero products; see
+	// TestWaveformMatchesComplexStep).
+	a := m.alpha
+	cr, ci := real(m.cur), imag(m.cur)
 	for _, s := range symbols {
-		target := m.set.Gamma(s)
+		t := m.set.Gamma(s)
+		tr, ti := real(t), imag(t)
 		for i := 0; i < m.sps; i++ {
-			m.cur += complex(m.alpha, 0) * (target - m.cur)
-			dst = append(dst, m.cur)
+			cr += a * (tr - cr)
+			ci += a * (ti - ci)
+			dst = append(dst, complex(cr, ci))
 		}
 	}
+	m.cur = complex(cr, ci)
 	return dst
 }
 

@@ -260,3 +260,39 @@ func BenchmarkModulatorWaveform(b *testing.B) {
 		buf = m.Waveform(buf[:0], symbols)
 	}
 }
+
+// TestWaveformMatchesComplexStep pins the scalar I/Q relaxation in
+// Waveform to the complex-arithmetic reference it replaced:
+// cur += complex(alpha,0)*(target-cur), sample for sample, across
+// every alphabet at a finite rise time. The scalar form drops the
+// exact-zero cross terms of the complex product; this test is the
+// bit-identity proof.
+func TestWaveformMatchesComplexStep(t *testing.T) {
+	for _, name := range []string{"ook", "bpsk", "qpsk", "8psk", "16qam"} {
+		set, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewModulator(set, 10e6, 80e6, 3e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		symbols := make([]int, 200)
+		for i := range symbols {
+			symbols[i] = (i * 7) % set.Size()
+		}
+		got := m.Waveform(nil, symbols)
+
+		alpha := complex(m.alpha, 0)
+		cur := set.Gamma(0)
+		for i, s := range symbols {
+			target := set.Gamma(s)
+			for k := 0; k < m.sps; k++ {
+				cur += alpha * (target - cur)
+				if got[i*m.sps+k] != cur {
+					t.Fatalf("%s: sample (%d,%d): got %v, reference %v", name, i, k, got[i*m.sps+k], cur)
+				}
+			}
+		}
+	}
+}

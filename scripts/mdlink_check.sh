@@ -3,6 +3,8 @@
 # repo's documentation resolves to an existing file or directory.
 # External links (http/https/mailto) and pure in-page anchors are
 # skipped; "file.md#anchor" links are checked for the file part only.
+# Bare-http arxiv links fail: arxiv serves https, so a http:// form is
+# a downgraded paste that breaks behind strict transport policies.
 #
 # Usage: scripts/mdlink_check.sh   (run from the repo root)
 set -eu
@@ -16,6 +18,11 @@ for doc in *.md .github/*.md docs/*.md; do
 	grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/' |
 		while IFS= read -r target; do
 			case "$target" in
+			http://arxiv.org/* | http://*.arxiv.org/*)
+				echo "mdlink_check: $doc: insecure arxiv link (use https) -> $target"
+				echo broken >>/tmp/mdlink_check.$$
+				continue
+				;;
 			http://* | https://* | mailto:*) continue ;;
 			'#'*) continue ;;
 			esac
