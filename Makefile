@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-check bench-batch fuzz docs serve-smoke soak
+.PHONY: check fmt vet build test race bench bench-json bench-check bench-batch fuzz docs serve-smoke soak router-soak
 
 check: fmt vet build race docs
 
@@ -78,6 +78,16 @@ serve-smoke:
 # unclean SIGTERM drain. SOAK_SECONDS=5 shortens a local run.
 soak:
 	sh scripts/soak_smoke.sh
+
+# Chaos soak of the horizontal service tier: 4 shard daemons behind
+# mmtag-router under ~20s of router-aware closed-loop load, with one
+# shard SIGKILLed and restarted mid-soak (partial service must hold:
+# only 2xx/207/429 ever reach the client) and a rolling config reload —
+# one invalid (rejected fleet-wide) and one valid (applied shard by
+# shard). The router-mix load row gates against BENCH_baseline.json.
+# SOAK_SECONDS=5 shortens a local run.
+router-soak:
+	sh scripts/router_smoke.sh
 
 # Short smoke runs of every fuzz target (Go only fuzzes one target per
 # invocation).

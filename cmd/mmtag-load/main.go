@@ -10,6 +10,18 @@
 //	mmtag-load -url ... -mix tags=1,tag=4,report=1 -timeout 500ms
 //	mmtag-load -url ... -benchjson BENCH_load.json -benchcompare BENCH_baseline.json
 //	mmtag-load -url ... -max-5xx 0 -max-p99 250ms
+//	mmtag-load -url http://127.0.0.1:8080 -router -duration 20s
+//
+// The target can be a single mmtag-serve daemon or an mmtag-router
+// fronting a shard fleet — the REST surface is the same. With -router
+// the client understands the router's partial-result contract: 207
+// responses count as degraded successes (tracked separately, never
+// retried as failures), pinned tag reads are broken down per shard via
+// the X-Mmtag-Shard response header, and the report closes with the
+// router's own shards_ok/shards_total verdict. The benchmark row then
+// defaults to name LOAD/router-mix in suite "load-router", so a shared
+// BENCH_baseline.json gates single-daemon and router runs
+// independently (benchfmt.Compare judges only measured suites).
 //
 // Responses are classified as ok (2xx), shed (429 — the daemon's
 // admission control working as designed, never an error), server_error
@@ -27,6 +39,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +76,8 @@ type options struct {
 	benchLabel   string
 	benchNsTol   float64
 	benchName    string
+	benchSuite   string
+	router       bool
 	max5xx       int
 	maxP99       time.Duration
 	out          io.Writer
@@ -138,7 +153,24 @@ type loadStats struct {
 	client4xx atomic.Int64
 	timeouts  atomic.Int64 // deadline or transport failure
 	retries   atomic.Int64
+	partials  atomic.Int64 // 207: the router's degraded-success contract
 	latency   *obs.Quantile
+	// shardLat breaks pinned tag-read latency down by the shard the
+	// router reported in X-Mmtag-Shard (router mode only).
+	shardLat *obs.QuantileVec
+	shardMu  sync.Mutex
+	shardIDs map[string]bool
+}
+
+// observeShard records one pinned read's latency under its shard label.
+func (s *loadStats) observeShard(shard string, seconds float64) {
+	if s.shardLat == nil || shard == "" {
+		return
+	}
+	s.shardMu.Lock()
+	s.shardIDs[shard] = true
+	s.shardMu.Unlock()
+	s.shardLat.With(shard).Observe(seconds)
 }
 
 // classify folds one response (or transport error) into the stats and
@@ -151,6 +183,9 @@ func (s *loadStats) classify(code int, err error) (retryable bool) {
 	s.completed.Add(1)
 	switch {
 	case code >= 200 && code < 300:
+		if code == http.StatusMultiStatus {
+			s.partials.Add(1)
+		}
 		s.ok.Add(1)
 		return false
 	case code == http.StatusTooManyRequests:
@@ -222,7 +257,9 @@ func main() {
 	flag.StringVar(&o.benchCompare, "benchcompare", "", "gate the run against this BENCH_*.json baseline")
 	flag.StringVar(&o.benchLabel, "bench-label", "load", "label for -benchjson")
 	flag.Float64Var(&o.benchNsTol, "benchnstol", 400, "p99 regression tolerance percent for -benchcompare (wall time is machine-dependent)")
-	flag.StringVar(&o.benchName, "bench-name", "LOAD/inventory-mix", "row name for -benchjson")
+	flag.StringVar(&o.benchName, "bench-name", "", "row name for -benchjson (default LOAD/inventory-mix; LOAD/router-mix with -router)")
+	flag.StringVar(&o.benchSuite, "bench-suite", "", "suite for -benchjson rows (default load; load-router with -router) — keep distinct per target kind so a shared baseline gates them independently")
+	flag.BoolVar(&o.router, "router", false, "target is an mmtag-router: track 207 partial responses, per-shard pinned-read latency, and the fleet health verdict")
 	flag.IntVar(&o.max5xx, "max-5xx", -1, "fail when server errors + timeouts exceed this (-1 disables)")
 	flag.DurationVar(&o.maxP99, "max-p99", 0, "fail when p99 latency exceeds this (0 disables)")
 	flag.Parse()
@@ -245,9 +282,26 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	if o.benchName == "" {
+		o.benchName = "LOAD/inventory-mix"
+		if o.router {
+			o.benchName = "LOAD/router-mix"
+		}
+	}
+	if o.benchSuite == "" {
+		o.benchSuite = "load"
+		if o.router {
+			o.benchSuite = "load-router"
+		}
+	}
 	base := strings.TrimSuffix(o.url, "/")
 
-	stats := &loadStats{latency: obs.NewRegistry().Quantile("load_request_seconds", "End-to-end request latency.")}
+	reg := obs.NewRegistry()
+	stats := &loadStats{latency: reg.Quantile("load_request_seconds", "End-to-end request latency.")}
+	if o.router {
+		stats.shardLat = reg.QuantileVec("load_shard_seconds", "Pinned tag-read latency by owning shard.", "shard")
+		stats.shardIDs = map[string]bool{}
+	}
 	budget := &retryBudget{ratio: o.retryBudget, stats: stats}
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.workers}}
 	done := make(chan struct{})
@@ -298,6 +352,9 @@ func worker(client *http.Client, base string, rt route, o options, stats *loadSt
 				if s, convErr := strconv.Atoi(resp.Header.Get("Retry-After")); convErr == nil {
 					retryAfter = time.Duration(s) * time.Second
 				}
+				if shard := resp.Header.Get("X-Mmtag-Shard"); shard != "" && code < 500 {
+					stats.observeShard(shard, time.Since(reqStart).Seconds())
+				}
 			}
 		}
 		cancel()
@@ -331,12 +388,18 @@ func report(o options, stats *loadStats, budget *retryBudget, elapsed time.Durat
 	fmt.Fprintf(w, "  attempts      %d (%d retries, %d declined by budget)\n",
 		stats.attempts.Load(), stats.retries.Load(), budget.declined.Load())
 	fmt.Fprintf(w, "  ok            %d\n", stats.ok.Load())
+	if o.router || stats.partials.Load() > 0 {
+		fmt.Fprintf(w, "  partial (207) %d\n", stats.partials.Load())
+	}
 	fmt.Fprintf(w, "  shed (429)    %d\n", stats.shed.Load())
 	fmt.Fprintf(w, "  client errors %d\n", stats.client4xx.Load())
 	fmt.Fprintf(w, "  server errors %d\n", stats.server5xx.Load())
 	fmt.Fprintf(w, "  timeouts      %d\n", stats.timeouts.Load())
 	fmt.Fprintf(w, "  throughput    %.1f req/s\n", qps)
 	fmt.Fprintf(w, "  latency       p50 %.2fms  p90 %.2fms  p99 %.2fms\n", p50*1e3, p90*1e3, p99*1e3)
+	if o.router {
+		reportRouter(w, o, stats)
+	}
 
 	var gateErrs []string
 	if o.benchJSON != "" || o.benchCompare != "" {
@@ -347,7 +410,7 @@ func report(o options, stats *loadStats, budget *retryBudget, elapsed time.Durat
 			Reps:      1,
 			Benchmarks: []benchfmt.Result{{
 				Name:    o.benchName,
-				Suite:   "load",
+				Suite:   o.benchSuite,
 				NsOp:    int64(maxf(p99, 0) * 1e9),
 				BytesOp: uint64(maxf(p50, 0) * 1e9),
 				Rows:    errRows,
@@ -385,6 +448,47 @@ func report(o options, stats *loadStats, budget *retryBudget, elapsed time.Durat
 		return fmt.Errorf("load gate failed:\n  %s", strings.Join(gateErrs, "\n  "))
 	}
 	return nil
+}
+
+// reportRouter prints the router-mode extras: the per-shard latency
+// breakdown of pinned tag reads and the router's own fleet verdict.
+func reportRouter(w io.Writer, o options, stats *loadStats) {
+	stats.shardMu.Lock()
+	shards := make([]string, 0, len(stats.shardIDs))
+	for s := range stats.shardIDs {
+		shards = append(shards, s)
+	}
+	stats.shardMu.Unlock()
+	sort.Strings(shards)
+	if len(shards) > 0 {
+		fmt.Fprintf(w, "  per-shard pinned-read latency:\n")
+		for _, s := range shards {
+			q := stats.shardLat.With(s)
+			fmt.Fprintf(w, "    shard %s   p50 %.2fms  p90 %.2fms  p99 %.2fms\n",
+				s, q.Value(0.5)*1e3, q.Value(0.9)*1e3, q.Value(0.99)*1e3)
+		}
+	}
+	// The router's own verdict on the fleet, straight from /v1/status.
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(o.url, "/")+"/v1/status", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintf(w, "  router status: unreachable (%v)\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var status struct {
+		ShardsTotal int `json:"shards_total"`
+		ShardsOK    int `json:"shards_ok"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&status) == nil {
+		fmt.Fprintf(w, "  router fleet  %d/%d shards up\n", status.ShardsOK, status.ShardsTotal)
+	}
 }
 
 func max(a, b int) int {

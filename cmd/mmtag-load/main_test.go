@@ -188,6 +188,57 @@ func TestMaxP99Gate(t *testing.T) {
 	}
 }
 
+// TestRunRouterMode drives -router against a stub router: 207 partial
+// responses count as degraded successes, pinned reads break down per
+// shard via X-Mmtag-Shard, the fleet verdict lands in the report, and
+// the bench row moves to the load-router suite.
+func TestRunRouterMode(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/tags", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusMultiStatus)
+		fmt.Fprint(w, `{"shards_total":4,"shards_ok":3,"partial":true,"tags":[]}`)
+	})
+	mux.HandleFunc("GET /v1/tags/{id}", func(w http.ResponseWriter, r *http.Request) {
+		shard := "0"
+		if len(r.PathValue("id")) > 0 && r.PathValue("id")[0]%2 == 1 {
+			shard = "1"
+		}
+		w.Header().Set("X-Mmtag-Shard", shard)
+		fmt.Fprintf(w, `{"id":%s}`, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"shards_total":4,"shards_ok":3}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	benchPath := filepath.Join(t.TempDir(), "BENCH_router.json")
+	var out bytes.Buffer
+	err := run(options{
+		url: srv.URL, workers: 4, duration: 250 * time.Millisecond,
+		mix: "tags=1,tag=4", timeout: time.Second,
+		tags: 8, seed: 7, router: true,
+		benchJSON: benchPath, max5xx: 0, out: &out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"partial (207)", "per-shard pinned-read latency", "shard 0", "shard 1", "router fleet  3/4 shards up"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("router report missing %q:\n%s", want, s)
+		}
+	}
+	rep, err := benchfmt.Load(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rep.Benchmarks[0]
+	if row.Suite != "load-router" || row.Name != "LOAD/router-mix" || row.Rows != 0 {
+		t.Fatalf("router row = %+v", row)
+	}
+}
+
 func firstLineWith(s, substr string) string {
 	for _, line := range strings.Split(s, "\n") {
 		if strings.Contains(line, substr) {

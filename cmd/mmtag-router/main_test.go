@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mmtag/internal/net"
+	"mmtag/internal/router"
+	"mmtag/internal/serve"
+)
+
+// startShards boots n real shard daemons for an aps×tags fleet and
+// returns their URLs in shard-index order.
+func startShards(t *testing.T, aps, tags, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		d, err := serve.Start(serve.Config{
+			Addr: "127.0.0.1:0",
+			Net: net.Config{
+				APs: aps, Tags: tags, Seed: 42,
+				Duration: 0.02, Epochs: 2, MobileFrac: 0.25,
+			},
+			Shard:         net.ShardSpec{Index: i, Count: n},
+			Workers:       2,
+			EpochInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		t.Cleanup(func() { d.Drain() })
+		urls[i] = d.URL()
+	}
+	return urls
+}
+
+func testOptions(shardURLs []string) options {
+	return options{
+		addr:          "127.0.0.1:0",
+		shards:        strings.Join(shardURLs, ","),
+		aps:           4,
+		tags:          16,
+		shardTimeout:  2 * time.Second,
+		reloadTimeout: 5 * time.Second,
+		probeInterval: 50 * time.Millisecond,
+		drainTimeout:  5 * time.Second,
+	}
+}
+
+// TestRunRoutesFleet boots two real shard daemons plus the router
+// through the CLI path, checks the merged inventory and fleet status,
+// drains via the test hook and checks the final metrics flush.
+func TestRunRoutesFleet(t *testing.T) {
+	urls := startShards(t, 4, 16, 2)
+	o := testOptions(urls)
+	metricsPath := filepath.Join(t.TempDir(), "final.prom")
+	o.metrics = metricsPath
+	var out bytes.Buffer
+	o.out = &out
+	o.wait = func(rt *router.Router) bool {
+		resp, err := http.Get(rt.URL() + "/v1/tags")
+		if err != nil {
+			t.Errorf("GET /v1/tags: %v", err)
+			return rt.Drain()
+		}
+		defer resp.Body.Close()
+		var body struct {
+			ShardsOK int `json:"shards_ok"`
+			Tags     []struct {
+				ID int `json:"id"`
+			} `json:"tags"`
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Errorf("bad /v1/tags body %q: %v", raw, err)
+		}
+		if resp.StatusCode != 200 || body.ShardsOK != 2 || len(body.Tags) != 16 {
+			t.Errorf("/v1/tags = %d, %d shards ok, %d tags", resp.StatusCode, body.ShardsOK, len(body.Tags))
+		}
+		return rt.Drain()
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "drained cleanly") || !strings.Contains(s, "fronting 2 shards") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+	body, err := readFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"router_requests_total", "router_shard_up"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("final metrics flush missing %s", want)
+		}
+	}
+}
+
+// TestRunRejectsBadConfig pins startup validation: an empty shard list
+// and a fleet shape the partition rejects both fail before binding.
+func TestRunRejectsBadConfig(t *testing.T) {
+	o := testOptions(nil)
+	o.out = io.Discard
+	if err := run(o); err == nil {
+		t.Error("empty -shards accepted")
+	}
+	o = testOptions([]string{"http://127.0.0.1:1", "http://127.0.0.1:2"})
+	o.tags = 1 // 1 tag over 2 shards: unpartitionable
+	o.out = io.Discard
+	if err := run(o); err == nil {
+		t.Error("unpartitionable fleet accepted")
+	}
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

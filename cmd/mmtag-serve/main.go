@@ -9,6 +9,13 @@
 //	mmtag-serve -addr :8080 -aps 4 -tags 64 -seed 42
 //	mmtag-serve -addr :8080 -faults 'blockage=30,ackloss=0.2'
 //	mmtag-serve -addr :8080 -queue 128 -concurrency 32 -request-timeout 500ms
+//	mmtag-serve -addr :8081 -aps 8 -tags 64 -shard 0/4
+//
+// With -shard i/N the flags describe the FLEET and the daemon hosts
+// only its AP group: slice i of the deterministic partition
+// (net.PartitionDeployment) of the fleet's APs and tags, serving global
+// tag IDs. N such daemons behind cmd/mmtag-router present the fleet as
+// one deployment.
 //
 // Endpoints:
 //
@@ -37,6 +44,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"mmtag/internal/fault"
@@ -55,6 +64,7 @@ type options struct {
 	epochs         int
 	mobile         float64
 	faults         string
+	shard          string // "i/N" fleet slice, "" = standalone
 	epochInterval  time.Duration
 	drainTimeout   time.Duration
 	queue          int
@@ -82,6 +92,7 @@ func main() {
 	flag.IntVar(&o.epochs, "epochs", 4, "association epochs per report window (each live epoch simulates duration/epochs seconds)")
 	flag.Float64Var(&o.mobile, "mobile", 0.25, "fraction of tags that move and hand off between cells")
 	flag.StringVar(&o.faults, "faults", "", "initial fault-injection spec, e.g. 'blockage=30,ackloss=0.2' (hot-reloadable via POST /config)")
+	flag.StringVar(&o.shard, "shard", "", "host fleet slice i/N (e.g. 0/4): -aps/-tags describe the fleet, this daemon serves its AP group with global tag IDs")
 	flag.DurationVar(&o.epochInterval, "epoch-interval", 250*time.Millisecond, "wall-clock spacing between association epochs")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "how long in-flight requests get to finish after SIGTERM")
 	flag.IntVar(&o.queue, "queue", 256, "admission queue depth; arrivals beyond it are shed with 429")
@@ -108,6 +119,10 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	shard, err := parseShard(o.shard)
+	if err != nil {
+		return err
+	}
 	d, err := serve.Start(serve.Config{
 		Addr: o.addr,
 		Net: net.Config{
@@ -119,6 +134,7 @@ func run(o options) error {
 			MobileFrac: o.mobile,
 			Faults:     plan,
 		},
+		Shard:         shard,
 		Workers:       o.parallel,
 		EpochInterval: o.epochInterval,
 		DrainTimeout:  o.drainTimeout,
@@ -133,8 +149,13 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(o.out, "mmtag-serve: %d APs, %d tags, seed %d on %s (epoch every %s)\n",
-		o.aps, o.tags, o.seed, d.URL(), o.epochInterval)
+	if shard.Count > 0 {
+		fmt.Fprintf(o.out, "mmtag-serve: shard %d/%d of %d APs, %d tags, seed %d on %s (epoch every %s)\n",
+			shard.Index, shard.Count, o.aps, o.tags, o.seed, d.URL(), o.epochInterval)
+	} else {
+		fmt.Fprintf(o.out, "mmtag-serve: %d APs, %d tags, seed %d on %s (epoch every %s)\n",
+			o.aps, o.tags, o.seed, d.URL(), o.epochInterval)
+	}
 	if o.faults != "" {
 		fmt.Fprintf(o.out, "faults: %s\n", o.faults)
 	}
@@ -157,6 +178,24 @@ func run(o options) error {
 	}
 	fmt.Fprintln(o.out, "mmtag-serve: drained cleanly")
 	return nil
+}
+
+// parseShard parses the -shard "i/N" syntax into a net.ShardSpec; the
+// empty string means standalone (zero spec).
+func parseShard(s string) (net.ShardSpec, error) {
+	if s == "" {
+		return net.ShardSpec{}, nil
+	}
+	idxStr, countStr, ok := strings.Cut(s, "/")
+	idx, idxErr := strconv.Atoi(idxStr)
+	count, countErr := strconv.Atoi(countStr)
+	if !ok || idxErr != nil || countErr != nil {
+		return net.ShardSpec{}, fmt.Errorf("-shard wants i/N (e.g. 0/4), got %q", s)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return net.ShardSpec{}, fmt.Errorf("-shard %q: index must be in 0..N-1", s)
+	}
+	return net.ShardSpec{Index: idx, Count: count}, nil
 }
 
 // flushMetrics writes the final registry snapshot in Prometheus text

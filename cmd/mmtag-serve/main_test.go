@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -100,6 +101,68 @@ func TestRunReportsForcedDrain(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "drain deadline") {
 		t.Fatalf("forced drain err = %v", err)
 	}
+}
+
+// TestParseShard pins the -shard i/N syntax.
+func TestParseShard(t *testing.T) {
+	sp, err := parseShard("2/4")
+	if err != nil || sp.Index != 2 || sp.Count != 4 {
+		t.Fatalf("parseShard(2/4) = %+v, %v", sp, err)
+	}
+	if sp, err = parseShard(""); err != nil || sp.Count != 0 {
+		t.Fatalf("empty -shard = %+v, %v", sp, err)
+	}
+	for _, bad := range []string{"4/4", "-1/4", "0/0", "x/4", "1", "1/2/3"} {
+		if _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunShardMode boots one fleet slice through the CLI path and
+// checks the daemon advertises its shard identity and serves only its
+// global tag-ID range.
+func TestRunShardMode(t *testing.T) {
+	o := testOptions()
+	o.aps = 4
+	o.tags = 16
+	o.shard = "1/2" // slice 1: APs 2..3, tags 9..16
+	var out bytes.Buffer
+	o.out = &out
+	o.wait = func(d *serve.Daemon) bool {
+		resp, err := http.Get(d.URL() + "/v1/status")
+		if err != nil {
+			t.Errorf("GET /v1/status: %v", err)
+			return d.Drain()
+		}
+		defer resp.Body.Close()
+		var status struct {
+			Shard struct {
+				Index   int `json:"index"`
+				Count   int `json:"count"`
+				TagBase int `json:"tag_base"`
+				Tags    int `json:"tags"`
+			} `json:"shard"`
+		}
+		if err := jsonDecode(resp.Body, &status); err != nil {
+			t.Errorf("status body: %v", err)
+		}
+		if status.Shard.Index != 1 || status.Shard.Count != 2 ||
+			status.Shard.TagBase != 8 || status.Shard.Tags != 8 {
+			t.Errorf("shard identity = %+v", status.Shard)
+		}
+		return d.Drain()
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "shard 1/2") {
+		t.Errorf("banner missing shard identity:\n%s", s)
+	}
+}
+
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
 }
 
 func readFile(path string) (string, error) {

@@ -41,6 +41,12 @@ type Config struct {
 	// Tags is the population size (1..255; IDs are global and unique
 	// across the whole deployment).
 	Tags int
+	// TagIDBase offsets the tag IDs this deployment assigns: tags carry
+	// IDs TagIDBase+1 .. TagIDBase+Tags (0 by default — the historical
+	// 1..Tags numbering). A sharded fleet (ShardSpec.Slice) uses it so
+	// every shard's IDs stay globally unique and the router's
+	// deterministic owner map holds; TagIDBase+Tags must stay <= 255.
+	TagIDBase int
 	// MobileFrac is the fraction of tags that move (0 by default); each
 	// tag draws its mobility, heading and speed from a private derived
 	// RNG stream.
@@ -246,6 +252,10 @@ func New(cfg Config) (*Deployment, error) {
 	if cfg.Tags < 1 || cfg.Tags > 255 {
 		return nil, fmt.Errorf("net: tags must be in [1,255], got %d", cfg.Tags)
 	}
+	if cfg.TagIDBase < 0 || cfg.TagIDBase+cfg.Tags > 255 {
+		return nil, fmt.Errorf("net: tag IDs %d..%d overflow the uint8 ID space",
+			cfg.TagIDBase+1, cfg.TagIDBase+cfg.Tags)
+	}
 	if cfg.MobileFrac < 0 || cfg.MobileFrac > 1 {
 		return nil, fmt.Errorf("net: mobile fraction must be in [0,1], got %g", cfg.MobileFrac)
 	}
@@ -291,7 +301,7 @@ func New(cfg Config) (*Deployment, error) {
 	w, h := d.Width(), d.Height()
 	for i := 0; i < cfg.Tags; i++ {
 		t := &tagState{
-			id: uint8(i + 1),
+			id: uint8(cfg.TagIDBase + i + 1),
 			pos: geom.Point{
 				X: rng.Float64() * w,
 				Y: 0.5 + rng.Float64()*(h-0.5),

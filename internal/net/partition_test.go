@@ -1,0 +1,127 @@
+package net
+
+import (
+	"testing"
+)
+
+// TestPartitionCoversFleet pins the partition algebra: contiguous AP
+// groups and tag ranges, sizes within one of each other, and a union
+// that exactly covers the fleet.
+func TestPartitionCoversFleet(t *testing.T) {
+	for _, tc := range []struct{ aps, tags, shards int }{
+		{4, 64, 1}, {4, 64, 4}, {8, 64, 4}, {9, 255, 8}, {16, 100, 7}, {3, 3, 3},
+	} {
+		specs, err := PartitionDeployment(tc.aps, tc.tags, tc.shards)
+		if err != nil {
+			t.Fatalf("Partition(%+v): %v", tc, err)
+		}
+		if len(specs) != tc.shards {
+			t.Fatalf("Partition(%+v) = %d specs", tc, len(specs))
+		}
+		apNext, tagNext := 0, 0
+		minAP, maxAP := tc.aps, 0
+		minTag, maxTag := tc.tags, 0
+		for i, sp := range specs {
+			if sp.Index != i || sp.Count != tc.shards {
+				t.Errorf("%+v spec %d identity = %d/%d", tc, i, sp.Index, sp.Count)
+			}
+			if sp.APBase != apNext || sp.TagBase != tagNext {
+				t.Errorf("%+v spec %d not contiguous: ap %d want %d, tag %d want %d",
+					tc, i, sp.APBase, apNext, sp.TagBase, tagNext)
+			}
+			if sp.APCount < 1 || sp.TagCount < 1 {
+				t.Errorf("%+v spec %d empty: %+v", tc, i, sp)
+			}
+			apNext += sp.APCount
+			tagNext += sp.TagCount
+			minAP, maxAP = min(minAP, sp.APCount), max(maxAP, sp.APCount)
+			minTag, maxTag = min(minTag, sp.TagCount), max(maxTag, sp.TagCount)
+		}
+		if apNext != tc.aps || tagNext != tc.tags {
+			t.Errorf("%+v covers %d APs / %d tags", tc, apNext, tagNext)
+		}
+		if maxAP-minAP > 1 || maxTag-minTag > 1 {
+			t.Errorf("%+v uneven split: AP %d..%d, tag %d..%d", tc, minAP, maxAP, minTag, maxTag)
+		}
+	}
+}
+
+func TestPartitionRejectsBadShapes(t *testing.T) {
+	for _, tc := range []struct{ aps, tags, shards int }{
+		{4, 64, 0}, {2, 64, 4}, {8, 3, 4}, {8, 300, 4},
+	} {
+		if _, err := PartitionDeployment(tc.aps, tc.tags, tc.shards); err == nil {
+			t.Errorf("Partition(%+v) accepted", tc)
+		}
+	}
+}
+
+// TestOwnerShardMatchesSpecs cross-checks the closed-form owner map
+// against the spec ranges for every tag ID of several fleet shapes —
+// the invariant the router's pinning relies on.
+func TestOwnerShardMatchesSpecs(t *testing.T) {
+	for _, tc := range []struct{ tags, shards int }{
+		{64, 1}, {64, 4}, {255, 8}, {100, 7}, {3, 3},
+	} {
+		specs, err := PartitionDeployment(max(tc.shards, 8), tc.tags, tc.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 1; id <= tc.tags; id++ {
+			want := -1
+			for _, sp := range specs {
+				if sp.OwnsTag(id) {
+					if want >= 0 {
+						t.Fatalf("tags=%d shards=%d: id %d owned twice", tc.tags, tc.shards, id)
+					}
+					want = sp.Index
+				}
+			}
+			if got := OwnerShard(tc.tags, tc.shards, id); got != want {
+				t.Fatalf("OwnerShard(%d,%d,%d) = %d, specs say %d", tc.tags, tc.shards, id, got, want)
+			}
+		}
+	}
+	if OwnerShard(64, 4, 0) != -1 || OwnerShard(64, 4, 65) != -1 {
+		t.Error("out-of-population IDs must map to -1")
+	}
+}
+
+// TestShardSliceGlobalIDs builds every shard of a 4-way fleet and
+// checks the sub-deployments carry disjoint global tag IDs matching the
+// spec ranges, with per-shard seeds that differ.
+func TestShardSliceGlobalIDs(t *testing.T) {
+	fleet := Config{APs: 8, Tags: 64, Seed: 42, Epochs: 2, Duration: 0.02}
+	specs, err := PartitionDeployment(fleet.APs, fleet.Tags, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint8]int{}
+	seeds := map[int64]bool{}
+	for _, sp := range specs {
+		cfg := sp.Slice(fleet)
+		if cfg.APs != sp.APCount || cfg.Tags != sp.TagCount || cfg.TagIDBase != sp.TagBase {
+			t.Fatalf("Slice(%d) = %+v", sp.Index, cfg)
+		}
+		seeds[cfg.Seed] = true
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ti := range d.TagStates() {
+			if !sp.OwnsTag(int(ti.ID)) {
+				t.Errorf("shard %d placed tag %d outside its range", sp.Index, ti.ID)
+			}
+			if prev, dup := seen[ti.ID]; dup {
+				t.Errorf("tag %d placed on shards %d and %d", ti.ID, prev, sp.Index)
+			}
+			seen[ti.ID] = sp.Index
+		}
+	}
+	if len(seen) != fleet.Tags {
+		t.Errorf("fleet placed %d tags, want %d", len(seen), fleet.Tags)
+	}
+	if len(seeds) != 4 {
+		t.Errorf("shard seeds collide: %d distinct of 4", len(seeds))
+	}
+}

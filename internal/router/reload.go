@@ -1,0 +1,252 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mmtag/internal/fault"
+)
+
+// shardConfig is the slice of a shard's GET /v1/config answer the
+// rolling reload needs.
+type shardConfig struct {
+	Faults     string `json:"faults"`
+	Generation int64  `json:"generation"`
+}
+
+// handleConfigGet scatter-gathers GET /v1/config so an operator can see
+// whether the fleet is config-consistent at a glance.
+func (rt *Router) handleConfigGet(w http.ResponseWriter, r *http.Request) {
+	got, ok := rt.reserve(len(rt.shards))
+	if !ok {
+		rt.release(got)
+		rt.shedReply(w)
+		return
+	}
+	defer rt.release(got)
+	results := rt.scatter(r.Context(), "/v1/config")
+	type shardView struct {
+		shardResult
+		Faults string `json:"faults,omitempty"`
+	}
+	views := make([]shardView, len(results))
+	consistent := true
+	first, haveFirst := "", false
+	for i := range results {
+		views[i].shardResult = results[i]
+		if !results[i].OK {
+			consistent = false
+			continue
+		}
+		var body shardConfig
+		if err := json.Unmarshal(results[i].body, &body); err != nil {
+			views[i].OK = false
+			views[i].Err = fmt.Sprintf("bad shard body: %v", err)
+			consistent = false
+			continue
+		}
+		views[i].Faults = body.Faults
+		views[i].Generation = body.Generation
+		if !haveFirst {
+			first, haveFirst = body.Faults, true
+		} else if body.Faults != first {
+			consistent = false
+		}
+	}
+	m := meta(results)
+	writeJSON(w, rt.gatherStatus(m), map[string]any{
+		"shards_total": m.ShardsTotal,
+		"shards_ok":    m.ShardsOK,
+		"partial":      m.Partial,
+		"consistent":   consistent && !m.Partial,
+		"faults":       first,
+		"shards":       views,
+	})
+}
+
+// postShardConfig applies spec to one shard under the reload budget and
+// waits for a definitive outcome. A shard that acknowledges with 202
+// (staged, apply outcome pending) is polled through GET /v1/config
+// until the new spec is live or the budget runs out. Transient refusals
+// — a 429 from the shard's admission queue, a 409 while a previous
+// change settles, or a transport error — are retried inside the budget:
+// only a definitive verdict (2xx, or a 4xx refusal) may decide the
+// roll, because a rollback triggered by an overload shed would churn
+// the fleet for nothing.
+func (rt *Router) postShardConfig(s *shardState, spec string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ReloadTimeout)
+	defer cancel()
+	body, _ := json.Marshal(map[string]string{"faults": spec})
+	var lastErr error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/v1/config", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			rt.noteOutcome(s, false)
+			lastErr = fmt.Errorf("shard %d unreachable: %w", s.spec.Index, err)
+		} else {
+			reply, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			rt.noteOutcome(s, resp.StatusCode < 500)
+			switch {
+			case resp.StatusCode >= 200 && resp.StatusCode < 202:
+				return nil
+			case resp.StatusCode == http.StatusAccepted:
+				return rt.awaitShardConfig(ctx, s, spec)
+			case resp.StatusCode == http.StatusTooManyRequests ||
+				resp.StatusCode == http.StatusConflict:
+				lastErr = fmt.Errorf("shard %d busy (%d): %s",
+					s.spec.Index, resp.StatusCode, bytes.TrimSpace(reply))
+			default:
+				return fmt.Errorf("shard %d refused config (%d): %s",
+					s.spec.Index, resp.StatusCode, bytes.TrimSpace(reply))
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shard %d: reload budget spent: %w", s.spec.Index, lastErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// awaitShardConfig polls a 202-acknowledged shard until the posted spec
+// is the live one. The shard normalizes specs through fault.ParseSpec,
+// so comparison is against the same normalization.
+func (rt *Router) awaitShardConfig(ctx context.Context, s *shardState, spec string) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shard %d: apply outcome still pending after %s",
+				s.spec.Index, rt.cfg.ReloadTimeout)
+		case <-time.After(50 * time.Millisecond):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/v1/config", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		var body shardConfig
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
+		resp.Body.Close()
+		if err == nil && body.Faults == spec {
+			return nil
+		}
+	}
+}
+
+// handleConfigPost drives the rolling hot-reload ladder across the
+// fleet: validate the spec locally (same parser the shards use), record
+// every shard's prior config, apply the new spec one shard at a time,
+// and on any mid-roll failure roll the already-applied shards back — in
+// reverse order — so the fleet never stays split-brained. One roll at a
+// time; a concurrent attempt gets 409 immediately.
+func (rt *Router) handleConfigPost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req struct {
+		Faults string `json:"faults"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.rejected.Inc()
+		http.Error(w, fmt.Sprintf("bad config body: %v", err), http.StatusBadRequest)
+		return
+	}
+	// Router-side validation: an unparsable spec never touches a shard.
+	plan, err := fault.ParseSpec(req.Faults)
+	if err != nil {
+		rt.rejected.Inc()
+		http.Error(w, fmt.Sprintf("invalid config, fleet untouched: %v", err), http.StatusBadRequest)
+		return
+	}
+	spec := ""
+	if plan != nil {
+		spec = plan.String()
+	}
+	if !rt.reloadMu.TryLock() {
+		http.Error(w, "another rolling reload is in flight", http.StatusConflict)
+		return
+	}
+	defer rt.reloadMu.Unlock()
+
+	// Record the prior per-shard specs first: they are the rollback
+	// target, and a fleet that is not fully reachable is not safe to
+	// roll at all.
+	prior := make([]string, len(rt.shards))
+	for i, s := range rt.shards {
+		res := rt.fetchShard(r.Context(), s, "/v1/config")
+		if !res.OK {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"applied": false,
+				"error":   fmt.Sprintf("shard %d unreachable; not starting a roll", i),
+				"shard":   i,
+			})
+			return
+		}
+		var cfg shardConfig
+		if err := json.Unmarshal(res.body, &cfg); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"applied": false,
+				"error":   fmt.Sprintf("shard %d: bad config body: %v", i, err),
+				"shard":   i,
+			})
+			return
+		}
+		prior[i] = cfg.Faults
+	}
+
+	// Roll forward one shard at a time. Serial on purpose: at most one
+	// shard is ever mid-trial, so a failure leaves N-1 shards serving
+	// the old, known-good config.
+	for i, s := range rt.shards {
+		if err := rt.postShardConfig(s, spec); err != nil {
+			rollbackErrs := []string{}
+			for j := i - 1; j >= 0; j-- {
+				if rerr := rt.postShardConfig(rt.shards[j], prior[j]); rerr != nil {
+					rollbackErrs = append(rollbackErrs, rerr.Error())
+				}
+			}
+			rt.rollbacks.Inc()
+			resp := map[string]any{
+				"applied":      false,
+				"error":        err.Error(),
+				"failed_shard": i,
+				"rolled_back":  i,
+			}
+			code := http.StatusUnprocessableEntity
+			if len(rollbackErrs) > 0 {
+				// The roll failed AND the rollback could not restore every
+				// shard: the fleet is split-brained and needs an operator.
+				resp["rollback_errors"] = rollbackErrs
+				code = http.StatusBadGateway
+			}
+			writeJSON(w, code, resp)
+			return
+		}
+	}
+	rt.reloads.Inc()
+	shards := make([]map[string]any, len(rt.shards))
+	for i, s := range rt.shards {
+		shards[i] = map[string]any{"shard": i, "config_generation": s.gen.Load()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": true,
+		"faults":  spec,
+		"shards":  shards,
+	})
+}

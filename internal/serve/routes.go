@@ -84,15 +84,29 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 		state = "closed"
 	}
 	snap := d.Snapshot()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+	body := map[string]any{
 		"state":             state,
 		"epoch":             snap.Epoch,
 		"config_generation": snap.Generation,
 		"faults":            snap.FaultSpec,
 		"uptime_seconds":    time.Since(d.started).Seconds(),
 		"inflight":          d.inflight.Load(),
-	})
+	}
+	if d.sharded {
+		// The shard identity block is the router's source of truth for
+		// fleet membership: the resolved AP group and global tag-ID
+		// range this daemon owns.
+		body["shard"] = map[string]any{
+			"index":    d.shard.Index,
+			"count":    d.shard.Count,
+			"ap_base":  d.shard.APBase,
+			"aps":      d.shard.APCount,
+			"tag_base": d.shard.TagBase,
+			"tags":     d.shard.TagCount,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body) //nolint:errcheck
 }
 
 // runtimeConfig is the hot-reloadable surface: today the fault plan;

@@ -47,6 +47,15 @@ type Config struct {
 	// Net configures the hosted deployment. Pool, Trace, Obs and
 	// CostSpans are owned by the daemon and must be left unset.
 	Net net.Config
+	// Shard, when Count > 0, runs the daemon as one shard of a
+	// horizontally partitioned fleet: Net is then read as the FLEET
+	// configuration, and Start slices it down to shard Index's AP group
+	// and global tag-ID range via net.PartitionDeployment — so every
+	// shard of a fleet is launched from the same flags plus its own
+	// index. Only Index and Count are read; the ranges are re-derived,
+	// which is what makes the shard map deterministic across machines.
+	// The resolved identity is reported by /v1/status for the router.
+	Shard net.ShardSpec
 	// Workers sizes the cell pool (default: GOMAXPROCS via par).
 	Workers int
 	// EpochInterval is the minimum wall-clock spacing between epoch
@@ -104,6 +113,10 @@ type Daemon struct {
 	admit *admission
 	snap  atomic.Pointer[Snapshot]
 
+	// sharded marks a fleet member; shard is its resolved slice.
+	sharded bool
+	shard   net.ShardSpec
+
 	state      atomic.Int32
 	inflight   atomic.Int64
 	started    time.Time
@@ -138,9 +151,27 @@ func Start(cfg Config) (*Daemon, error) {
 	if runID == "" {
 		runID = fmt.Sprintf("serve-aps%d-tags%d-seed%d", cfg.Net.APs, cfg.Net.Tags, cfg.Net.Seed)
 	}
+	var shard net.ShardSpec
+	sharded := cfg.Shard.Count > 0
+	if sharded {
+		if cfg.Shard.Index < 0 || cfg.Shard.Index >= cfg.Shard.Count {
+			return nil, fmt.Errorf("serve: shard index %d outside fleet of %d", cfg.Shard.Index, cfg.Shard.Count)
+		}
+		specs, err := net.PartitionDeployment(cfg.Net.APs, cfg.Net.Tags, cfg.Shard.Count)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard mode: %w", err)
+		}
+		shard = specs[cfg.Shard.Index]
+		cfg.Net = shard.Slice(cfg.Net)
+		if cfg.RunID == "" {
+			runID = fmt.Sprintf("%s-shard%d.%d", runID, shard.Index, shard.Count)
+		}
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		reg:      reg,
+		sharded:  sharded,
+		shard:    shard,
 		started:  time.Now(),
 		cfgCh:    make(chan *cfgChange, 1),
 		stopLoop: make(chan struct{}),

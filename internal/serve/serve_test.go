@@ -493,3 +493,79 @@ func TestSnapshotSingleFlight(t *testing.T) {
 		t.Error("ReportJSON under an expired context returned no error")
 	}
 }
+
+// TestShardModeSlicesFleet boots shard 1 of a 4-shard fleet and checks
+// the daemon hosts exactly its slice: /v1/status carries the shard
+// identity block and /v1/tags serves only the shard's global tag-ID
+// range.
+func TestShardModeSlicesFleet(t *testing.T) {
+	fleet := net.Config{APs: 8, Tags: 64, Epochs: 2, Duration: 0.02, Seed: 42}
+	specs, err := net.PartitionDeployment(fleet.APs, fleet.Tags, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := startTestDaemon(t, func(c *Config) {
+		c.Net = fleet
+		c.Shard = net.ShardSpec{Index: 1, Count: 4}
+	})
+	body, code := httpGet(t, d.URL()+"/v1/status")
+	if code != 200 {
+		t.Fatalf("status = %d %q", code, body)
+	}
+	var st struct {
+		Shard struct {
+			Index, Count, Tags int
+			TagBase            int `json:"tag_base"`
+			APBase             int `json:"ap_base"`
+			APs                int `json:"aps"`
+		} `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status body %q: %v", body, err)
+	}
+	want := specs[1]
+	if st.Shard.Index != 1 || st.Shard.Count != 4 ||
+		st.Shard.TagBase != want.TagBase || st.Shard.Tags != want.TagCount ||
+		st.Shard.APBase != want.APBase || st.Shard.APs != want.APCount {
+		t.Errorf("shard block = %+v, want %+v", st.Shard, want)
+	}
+
+	body, code = httpGet(t, d.URL()+"/v1/tags")
+	if code != 200 {
+		t.Fatalf("tags = %d %q", code, body)
+	}
+	var tags struct {
+		Tags []struct {
+			ID int `json:"id"`
+		} `json:"tags"`
+	}
+	if err := json.Unmarshal([]byte(body), &tags); err != nil {
+		t.Fatal(err)
+	}
+	if len(tags.Tags) != want.TagCount {
+		t.Fatalf("shard serves %d tags, want %d", len(tags.Tags), want.TagCount)
+	}
+	for _, tg := range tags.Tags {
+		if !want.OwnsTag(tg.ID) {
+			t.Errorf("shard 1 serves tag %d outside (%d,%d]", tg.ID, want.TagBase, want.TagBase+want.TagCount)
+		}
+	}
+
+	// A tag outside the slice is 404 on this shard — the router's
+	// pinning map is what sends the request to the right place.
+	if _, code := httpGet(t, d.URL()+"/v1/tags/1"); code != 404 {
+		t.Errorf("foreign tag on shard 1 = %d, want 404", code)
+	}
+}
+
+// TestShardModeRejectsBadSpecs pins shard-mode startup validation.
+func TestShardModeRejectsBadSpecs(t *testing.T) {
+	for _, sh := range []net.ShardSpec{
+		{Index: 4, Count: 4}, {Index: -1, Count: 4}, {Index: 0, Count: 100},
+	} {
+		_, err := Start(Config{Addr: "127.0.0.1:0", Net: testNetConfig(), Shard: sh})
+		if err == nil {
+			t.Errorf("shard %+v accepted", sh)
+		}
+	}
+}

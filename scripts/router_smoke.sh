@@ -1,0 +1,176 @@
+#!/bin/sh
+# router_smoke.sh — chaos soak of the horizontal service tier.
+#
+# Builds mmtag-serve, mmtag-router and mmtag-load under the race
+# detector, launches a 4-shard fleet (one daemon per AP group) behind
+# the router, and runs ~20s of closed-loop router-aware load. Mid-soak
+# chaos, concurrent with the load:
+#
+#   - one invalid rolling POST /config (router-side validation must
+#     reject it with 400 before any shard sees it);
+#   - one valid rolling POST /config across all four shards (200, the
+#     fleet converges to a consistent config);
+#   - one shard is SIGKILLed and later restarted: while it is down the
+#     router must keep serving partial results (207 with
+#     shards_ok/shards_total accounting) — the load gate allows only
+#     2xx (incl. 207) and 429, so any 5xx leaking from the healthy
+#     shards fails the soak.
+#
+# The router and every surviving shard must drain cleanly on SIGTERM
+# (exit 0) and the router's final metrics must show the applied reload
+# and the rejected one.
+#
+# Usage: scripts/router_smoke.sh   (from the repo root)
+#   SOAK_SECONDS=5 scripts/router_smoke.sh   # shorter local run
+set -eu
+
+APS=8
+TAGS=64
+SECS=${SOAK_SECONDS:-20}
+TMP=${TMPDIR:-/tmp}
+ROUTER_ADDR=127.0.0.1:19860
+ROUTER_URL=http://$ROUTER_ADDR
+
+go build -race -o "$TMP/mmtag-serve" ./cmd/mmtag-serve
+go build -race -o "$TMP/mmtag-router" ./cmd/mmtag-router
+go build -race -o "$TMP/mmtag-load" ./cmd/mmtag-load
+
+# start_shard i: launch fleet slice i/4 on port 19861+i. The pid lands
+# in a file (not a shell variable) because the mid-soak restart happens
+# inside the chaos subshell and the parent still needs it at drain time.
+start_shard() {
+	i=$1
+	port=$((19861 + i))
+	# -duration/-epochs are tuned down so one epoch step stays cheap:
+	# a config apply lands at the next epoch boundary, and four
+	# race-built shards contending for CI cores must still converge
+	# inside the rolling reload's per-shard budget.
+	"$TMP/mmtag-serve" -addr "127.0.0.1:$port" -aps $APS -tags $TAGS -seed 42 \
+		-shard "$i/4" -duration 0.04 -epochs 2 \
+		-epoch-interval 100ms -drain-timeout 10s \
+		> "$TMP/router_shard$i.out" 2>&1 &
+	echo $! > "$TMP/router_shard_pid_$i"
+}
+
+for i in 0 1 2 3; do start_shard "$i"; done
+SHARDS=http://127.0.0.1:19861,http://127.0.0.1:19862,http://127.0.0.1:19863,http://127.0.0.1:19864
+
+"$TMP/mmtag-router" -addr "$ROUTER_ADDR" -aps $APS -tags $TAGS \
+	-shards "$SHARDS" -shard-timeout 2s -probe-interval 200ms \
+	-reload-timeout 30s -drain-timeout 10s -metrics "$TMP/router_final.prom" \
+	> "$TMP/router.out" 2>&1 &
+router_pid=$!
+
+cleanup() {
+	kill "$router_pid" 2>/dev/null || true
+	for i in 0 1 2 3; do
+		kill "$(cat "$TMP/router_shard_pid_$i")" 2>/dev/null || true
+	done
+}
+trap cleanup EXIT
+
+# until_ok cmd: retry a curl-grep probe for up to ~10s.
+until_ok() {
+	for _ in $(seq 1 100); do
+		eval "$1" > /dev/null 2>&1 && return 0
+		sleep 0.1
+	done
+	echo "router soak: never converged: $1"
+	return 1
+}
+
+until_ok "curl -sf '$ROUTER_URL/healthz'"
+# The router must see the whole fleet up before the soak opens fire.
+until_ok "curl -sf '$ROUTER_URL/v1/status' | grep -q '\"shards_ok\":4'"
+
+# Prime the router's stale-snapshot caches so pinned reads to the
+# soon-to-die shard degrade to 207 instead of 503.
+curl -sf "$ROUTER_URL/v1/tags" > /dev/null
+
+# post_config body: POST a rolling config change, retrying through the
+# router's own transient refusals (429 fan-out shed, 503 fleet-not-
+# reachable snapshot) and echoing the first definitive status code.
+post_config() {
+	for _ in $(seq 1 60); do
+		code=$(curl -s -o "$TMP/router_cfg.out" -w '%{http_code}' \
+			-X POST "$ROUTER_URL/config" -d "$1")
+		case "$code" in 429 | 503) sleep 0.5 ;; *) echo "$code"; return 0 ;; esac
+	done
+	echo "$code"
+}
+
+# Mid-soak chaos, concurrent with the load below.
+(
+	sleep 2
+	# Rolling reload of an invalid spec: router-side validation rejects
+	# it before any shard sees a POST.
+	code=$(post_config '{"faults":"bogus=1"}')
+	[ "$code" = 400 ] || { echo "router soak: invalid config got HTTP $code, want 400"; exit 1; }
+	grep -q 'fleet untouched' "$TMP/router_cfg.out"
+
+	# Valid rolling reload across all four shards: applied one at a
+	# time, every shard converges, the fleet view reads consistent.
+	code=$(post_config '{"faults":"ackloss=0.1"}')
+	[ "$code" = 200 ] || { echo "router soak: rolling reload got HTTP $code, want 200"; exit 1; }
+	until_ok "curl -sf '$ROUTER_URL/v1/config' | grep -q '\"consistent\":true'"
+
+	sleep 1
+	# Kill shard 2 outright (no drain): the router must degrade to
+	# partial service, never 5xx from the healthy shards.
+	kill -9 "$(cat "$TMP/router_shard_pid_2")"
+	until_ok "curl -s '$ROUTER_URL/v1/status' | grep -q '\"shards_ok\":3'"
+	# A scatter while one shard is down must answer 207 with partial
+	# accounting (other shards may also blow their deadline under race
+	# load, so only the dead shard's absence is asserted exactly).
+	code=$(curl -s -o "$TMP/router_partial.out" -w '%{http_code}' "$ROUTER_URL/v1/tags")
+	[ "$code" = 207 ] || { echo "router soak: scatter with a dead shard got HTTP $code, want 207"; exit 1; }
+	grep -q '"partial":true' "$TMP/router_partial.out"
+
+	sleep 2
+	# Restart the shard: determinism means it recomputes the same slice,
+	# and the router folds it back in with no coordination.
+	start_shard 2
+	until_ok "curl -sf '$ROUTER_URL/v1/status' | grep -q '\"shards_ok\":4'"
+) &
+chaos_pid=$!
+
+# Router-aware closed-loop load for the whole soak. The gate allows
+# only 2xx (207 partials included) and 429: any 5xx or timeout —
+# including during the kill/restart window — fails the run. The bench
+# row lands in the load-router suite and gates against the committed
+# baseline (generous ns tolerance: measured under -race on arbitrary
+# hardware).
+"$TMP/mmtag-load" -url "$ROUTER_URL" -router -workers 16 -duration "${SECS}s" \
+	-tags $TAGS -timeout 8s -retries 2 -retry-budget 0.2 \
+	-max-5xx 0 -max-p99 8s \
+	-benchjson "$TMP/BENCH_router.json" \
+	-benchcompare BENCH_baseline.json -benchnstol 5000
+
+wait "$chaos_pid"
+
+kill -TERM "$router_pid"
+wait "$router_pid"   # exit 0 only when the drain was clean
+
+# Drain every shard. The restarted shard 2 is not this shell's child
+# (the chaos subshell spawned it), so clean drain is verified through
+# the daemon's own log line rather than the exit status.
+for i in 0 1 2 3; do
+	pid=$(cat "$TMP/router_shard_pid_$i")
+	kill -TERM "$pid" 2>/dev/null || true
+	for _ in $(seq 1 150); do
+		kill -0 "$pid" 2>/dev/null || break
+		sleep 0.1
+	done
+	grep -q 'drained cleanly' "$TMP/router_shard$i.out" || {
+		echo "router soak: shard $i did not drain cleanly"
+		cat "$TMP/router_shard$i.out"
+		exit 1
+	}
+done
+trap - EXIT
+
+grep -q 'router_requests_total' "$TMP/router_final.prom"
+grep -q 'router_reloads_total 1' "$TMP/router_final.prom"
+grep -q 'router_reload_rejected_total 1' "$TMP/router_final.prom"
+grep -q 'drained cleanly' "$TMP/router.out"
+echo "router soak: OK (${SECS}s over 4 shards, shard 2 killed+restarted mid-soak, rolling reload, clean drain)"
